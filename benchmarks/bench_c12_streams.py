@@ -1,0 +1,123 @@
+"""C12 — Streams: explicit binding, QoS, synchronisation (section 7.2).
+
+Claims: streams are typed, traded interfaces with QoS contracts; binding
+"produces an interface containing control and management functions";
+flows need "synchronization between streams of voice, video and data".
+
+Series produced:
+  * delivered frame rate and QoS verdict vs network jitter level,
+  * loss sweep: contract violation detection vs injected drop rate,
+  * lip-sync skew (audio 50 Hz vs video 25 Hz) vs jitter.
+Expected shape: monitors detect exactly the degradations injected; sync
+skew stays within tolerance until jitter exceeds it.
+"""
+
+import pytest
+
+from repro.net.latency import FixedLatency, UniformLatency
+from repro.runtime import World
+from repro.streams import FlowSpec, StreamQoS, SyncController
+
+from benchmarks.workloads import as_report, write_report
+
+DURATION_MS = 2000.0
+
+
+def _conference(latency, drop=0.0, seed=6):
+    world = World(seed=seed, latency=latency, drop_probability=drop)
+    world.node("conf", "studio")
+    world.node("conf", "viewer")
+    camera = world.streams.create_endpoint("studio", "camera", [
+        FlowSpec("video", "out", "video",
+                 StreamQoS(rate_hz=25.0, max_latency_ms=30.0,
+                           max_jitter_ms=10.0, max_loss=0.02)),
+        FlowSpec("audio", "out", "audio",
+                 StreamQoS(rate_hz=50.0, max_latency_ms=30.0,
+                           max_jitter_ms=10.0, max_loss=0.02)),
+    ])
+    player = world.streams.create_endpoint("viewer", "player", [
+        FlowSpec("video", "in", "video",
+                 StreamQoS(rate_hz=25.0, max_jitter_ms=10.0,
+                           max_loss=0.02)),
+        FlowSpec("audio", "in", "audio",
+                 StreamQoS(rate_hz=50.0, max_jitter_ms=10.0,
+                           max_loss=0.02)),
+    ])
+    camera.attach_source("video", lambda seq: b"V" * 500)
+    camera.attach_source("audio", lambda seq: b"A" * 80)
+    sync = SyncController("audio", "video", world.clock,
+                          tolerance_ms=25.0)
+    player.attach_sink("video", sync.sink_for("video"))
+    player.attach_sink("audio", sync.sink_for("audio"))
+    binding = world.streams.bind(camera, player)
+    return world, binding, sync
+
+
+def _play(world, binding, duration=DURATION_MS):
+    binding.start()
+    world.scheduler.run_until(world.now + duration)
+    binding.stop()
+    world.settle()
+
+
+@pytest.mark.parametrize("jitter", [0.0, 20.0, 60.0])
+def test_c12_jitter_levels(benchmark, jitter):
+    benchmark.group = "C12 stream under jitter"
+    latency = (FixedLatency(2.0) if jitter == 0.0
+               else UniformLatency(1.0, jitter))
+    benchmark(lambda: _play(*_conference(latency)[:2], 500.0))
+
+
+def test_c12_report(benchmark):
+    as_report(benchmark, _report)
+
+
+def _report():
+    rows = ["-- QoS verdict vs network jitter --"]
+    for label, latency in (
+            ("fixed 2ms", FixedLatency(2.0)),
+            ("jitter 1-15ms", UniformLatency(1.0, 15.0)),
+            ("jitter 1-60ms", UniformLatency(1.0, 60.0))):
+        world, binding, sync = _conference(latency)
+        _play(world, binding)
+        stats = binding.monitor_for("video").stats()
+        verdict = ("meets contract" if not stats.contract_violations
+                   else "; ".join(stats.contract_violations))
+        rows.append(f"  {label:>13}: rate "
+                    f"{stats.frames_received / (DURATION_MS / 1000):5.1f}"
+                    f" fps, jitter {stats.mean_jitter_ms:6.2f} ms -> "
+                    f"{verdict}")
+    # Detection shape: clean network passes, heavy jitter is flagged.
+    world, binding, sync = _conference(FixedLatency(2.0))
+    _play(world, binding)
+    assert not binding.monitor_for("video").stats().contract_violations
+    world, binding, sync = _conference(UniformLatency(1.0, 60.0))
+    _play(world, binding)
+    assert binding.monitor_for("video").stats().contract_violations
+
+    rows.append("-- loss detection vs injected drop rate --")
+    for drop in (0.0, 0.05, 0.2):
+        world, binding, sync = _conference(FixedLatency(2.0), drop=drop)
+        _play(world, binding)
+        stats = binding.monitor_for("audio").stats()
+        flagged = any("loss" in v for v in stats.contract_violations)
+        rows.append(f"  drop={drop:4.2f}: measured loss "
+                    f"{stats.loss_rate:5.3f}, flagged={flagged}")
+        if drop == 0.0:
+            assert not flagged
+        if drop >= 0.05:
+            assert flagged
+
+    rows.append("-- lip-sync skew vs jitter --")
+    for label, latency in (("fixed 2ms", FixedLatency(2.0)),
+                           ("jitter 1-15ms", UniformLatency(1.0, 15.0)),
+                           ("jitter 1-60ms", UniformLatency(1.0, 60.0))):
+        world, binding, sync = _conference(latency)
+        _play(world, binding)
+        rows.append(f"  {label:>13}: {len(sync.released)} pairs, mean "
+                    f"skew {sync.mean_skew_ms():6.2f} ms, discarded "
+                    f"{sync.discarded}")
+        for pair in sync.released:
+            assert pair.skew_ms <= 25.0  # tolerance always respected
+    write_report("C12", "streams: QoS monitoring and inter-stream "
+                        "sync (section 7.2)", rows)

@@ -1,0 +1,95 @@
+"""C15 — Exploiting parallelism to overcome communication delays (§4.1).
+
+Claim: "the ODP application programmer should also be prepared to
+exploit parallelism to overcome communication delays and to make full
+use of the multi-processing capability of a distributed system."
+
+Series produced: total virtual time to collect N responses from N
+servers, synchronously vs with split-phase futures, N in {1, 4, 16}.
+Expected shape: synchronous cost grows linearly with N (round trips
+serialise); overlapped cost stays near one round trip plus the server
+processing sum — the gap *is* the communication delay parallelism buys
+back.
+"""
+
+import pytest
+
+from repro.engine.futures import AsyncInvoker
+from repro.net.latency import FixedLatency
+from repro.runtime import World
+
+from benchmarks.workloads import Counter, as_report, write_report
+
+LATENCY_MS = 20.0
+
+
+def _build(n):
+    world = World(seed=8, latency=FixedLatency(LATENCY_MS))
+    world.node("org", "hq")
+    refs = []
+    for i in range(n):
+        world.node("org", f"s{i}")
+        refs.append(world.capsule(f"s{i}", "srv").export(Counter()))
+    apps = world.capsule("hq", "apps")
+    binder = world.binder_for(apps)
+    return world, binder, apps, refs
+
+
+def _sync_fanout(world, binder, refs):
+    start = world.now
+    for ref in refs:
+        binder.bind(ref).increment()
+    return world.now - start
+
+
+def _future_fanout(world, binder, apps, refs):
+    invoker = AsyncInvoker(binder, apps)
+    start = world.now
+    futures = [invoker.call(ref, "increment") for ref in refs]
+    world.settle()
+    for future in futures:
+        future.result()
+    return world.now - start
+
+
+@pytest.mark.parametrize("n", [4, 16])
+def test_c15_sync(benchmark, n):
+    benchmark.group = "C15 fan-out"
+    benchmark.name = f"sync-{n}"
+
+    def round_trip():
+        world, binder, apps, refs = _build(n)
+        return _sync_fanout(world, binder, refs)
+
+    benchmark(round_trip)
+
+
+@pytest.mark.parametrize("n", [4, 16])
+def test_c15_futures(benchmark, n):
+    benchmark.group = "C15 fan-out"
+    benchmark.name = f"futures-{n}"
+    benchmark(lambda: _future_fanout(*_build(n)))
+
+
+def test_c15_report(benchmark):
+    as_report(benchmark, _report)
+
+
+def _report():
+    rows = [f"network: fixed {LATENCY_MS}ms propagation each way",
+            f"{'N':>4} {'sync ms':>10} {'futures ms':>12} {'speedup':>8}"]
+    results = {}
+    for n in (1, 4, 16):
+        world, binder, apps, refs = _build(n)
+        sync_ms = _sync_fanout(world, binder, refs)
+        world, binder, apps, refs = _build(n)
+        future_ms = _future_fanout(world, binder, apps, refs)
+        results[n] = (sync_ms, future_ms)
+        rows.append(f"{n:>4} {sync_ms:>10.2f} {future_ms:>12.2f} "
+                    f"{sync_ms / future_ms:>7.1f}x")
+    # Shape: sync grows ~linearly; futures stay near one RTT.
+    assert results[16][0] > 10 * results[1][0]
+    assert results[16][1] < 3 * results[1][1]
+    assert results[16][0] / results[16][1] > 5
+    write_report("C15", "parallelism overcomes communication delays "
+                        "(section 4.1)", rows)

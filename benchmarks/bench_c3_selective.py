@@ -1,0 +1,93 @@
+"""C3 — Selective transparency: you pay only for what you select.
+
+Claim (sections 3, 4.5): transparency must be "declarative, selective and
+modular"; an unselected transparency contributes no mechanism to the
+access path.
+
+Series produced: per-invocation virtual cost and server-stack depth for
+stacks of increasing selection:
+  0: access only (type-check) — the floor,
+  1: + location,
+  2: + security (guard + MAC verification),
+  3: + concurrency (locks + versions),
+  4: + failure (write-ahead log + checkpoints).
+Expected shape: cost grows monotonically with each selected transparency;
+the unselected configuration is not billed for the others.
+"""
+
+import pytest
+
+from repro import EnvironmentConstraints, FailureSpec, SecuritySpec
+from repro.security.policy import SecurityPolicy
+from repro.transparency.access import describe_server_stack
+
+from benchmarks.workloads import as_report, Account, two_node_world, write_report
+
+INVOCATIONS = 100
+
+
+def _constraints(level: int) -> EnvironmentConstraints:
+    selections = {}
+    if level >= 1:
+        selections["location"] = True
+    if level >= 2:
+        selections["security"] = SecuritySpec(policy="bench")
+    if level >= 3:
+        selections["concurrency"] = True
+    if level >= 4:
+        selections["failure"] = FailureSpec(checkpoint_every=10)
+    return EnvironmentConstraints(
+        location=selections.get("location", False),
+        concurrency=selections.get("concurrency", False),
+        security=selections.get("security"),
+        failure=selections.get("failure"),
+        federation=False)
+
+
+def _build(level: int):
+    world, servers, clients = two_node_world()
+    domain = world.domain("org")
+    domain.policies.register(SecurityPolicy("bench", default_allow=True))
+    domain.authority.enrol("bench-user")
+    ref = servers.export(Account(10 ** 9), constraints=_constraints(level))
+    proxy = world.binder_for(clients).bind(ref, principal="bench-user")
+    interface = servers.interfaces[ref.interface_id]
+    return world, proxy, interface
+
+
+def _drive(world, proxy):
+    for _ in range(INVOCATIONS):
+        proxy.deposit(1)
+
+
+@pytest.mark.parametrize("level", [0, 1, 2, 3, 4])
+def test_c3_stack_depth(benchmark, level):
+    benchmark.group = "C3 selective transparency"
+    benchmark.name = f"level-{level}"
+    world, proxy, interface = _build(level)
+    benchmark(lambda: _drive(world, proxy))
+
+
+def test_c3_report(benchmark):
+    as_report(benchmark, lambda: _report())
+
+
+def _report():
+    rows = []
+    costs = []
+    for level in range(5):
+        world, proxy, interface = _build(level)
+        start = world.now
+        _drive(world, proxy)
+        per_call = (world.now - start) / INVOCATIONS
+        costs.append(per_call)
+        stack = describe_server_stack(interface)
+        rows.append(f"level {level}: {per_call:8.4f} virtual ms/call, "
+                    f"server stack = {stack}")
+    write_report("C3", "selective transparency: cost grows only with "
+                       "selection (sections 3, 4.5)", rows)
+    # Monotone shape: each selected transparency adds cost; the floor
+    # configuration pays for none of them.
+    for lower, higher in zip(costs, costs[1:]):
+        assert higher >= lower * 0.999
+    assert costs[4] > costs[0]

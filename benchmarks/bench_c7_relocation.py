@@ -1,0 +1,94 @@
+"""C7 — Relocation: register changes only; clients repair transparently.
+
+Claims (section 5.4): "relocation mechanisms should only require the
+registration of changes in location because the majority of interfaces in
+a system can be expected to be temporary and stationary"; stale clients
+rebind without application involvement.
+
+Series produced:
+  * relocation-registry traffic for a stationary population (should be
+    one registration each, zero updates, zero lookups),
+  * per-invocation overhead when the server migrates every k
+    invocations, k in {2, 5, 10, 50} — the repair amortisation curve,
+  * hint-repair vs relocator-lookup repair cost.
+Expected shape: stationary objects cost nothing; overhead decays as
+migrations get rarer; forward hints beat registry lookups.
+"""
+
+import pytest
+
+from benchmarks.workloads import Counter, as_report, n_node_world, write_report
+
+CALLS = 100
+
+
+def _migrating_run(every, leave_forward=True, calls=CALLS):
+    world, capsules, clients = n_node_world(3)
+    domain = world.domain("org")
+    ref = capsules[0].export(Counter())
+    proxy = world.binder_for(clients).bind(ref)
+    home = 0
+    start = world.now
+    for i in range(1, calls + 1):
+        proxy.increment()
+        if every and i % every == 0:
+            target = (home + 1) % 3
+            domain.migrator.migrate(capsules[home], ref.interface_id,
+                                    capsules[target],
+                                    leave_forward=leave_forward)
+            home = target
+    elapsed = world.now - start
+    layer = proxy._channel.layers[-1]
+    return world, domain, elapsed / calls, layer
+
+
+@pytest.mark.parametrize("every", [0, 10, 2])
+def test_c7_migration_frequency(benchmark, every):
+    benchmark.group = "C7 migration frequency"
+    benchmark(lambda: _migrating_run(every, calls=40))
+
+
+def test_c7_report(benchmark):
+    as_report(benchmark, _report)
+
+
+def _report():
+    rows = ["-- stationary population: registration of changes only --"]
+    world, capsules, clients = n_node_world(2)
+    domain = world.domain("org")
+    binder = world.binder_for(clients)
+    proxies = [binder.bind(capsules[i % 2].export(Counter()))
+               for i in range(20)]
+    for _ in range(5):
+        for proxy in proxies:
+            proxy.increment()
+    relocator = domain.relocator
+    rows.append(f"  20 interfaces, 100 invocations: "
+                f"registrations={relocator.registrations}, "
+                f"updates={relocator.updates}, "
+                f"lookups={relocator.lookups}")
+    assert relocator.registrations == 20
+    assert relocator.updates == 0
+    assert relocator.lookups == 0
+
+    rows.append("-- overhead vs migration interval k --")
+    baseline = _migrating_run(0)[2]
+    rows.append(f"  stationary: {baseline:8.4f} virtual ms/call")
+    overheads = {}
+    for every in (50, 10, 5, 2):
+        per_call = _migrating_run(every)[2]
+        overheads[every] = per_call - baseline
+        rows.append(f"  k={every:>2}: {per_call:8.4f} virtual ms/call "
+                    f"(+{overheads[every]:.4f})")
+    assert overheads[2] > overheads[50]
+
+    rows.append("-- repair source: forward hint vs relocator lookup --")
+    for label, forward in (("forward-hint", True),
+                           ("relocator-lookup", False)):
+        world, domain, per_call, layer = _migrating_run(
+            5, leave_forward=forward)
+        rows.append(f"  {label:>17}: {per_call:8.4f} virtual ms/call, "
+                    f"hint repairs={layer.hint_repairs}, "
+                    f"lookup repairs={layer.lookup_repairs}")
+    write_report("C7", "relocation: change-only registration and "
+                       "transparent repair (section 5.4)", rows)

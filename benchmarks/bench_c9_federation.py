@@ -1,0 +1,122 @@
+"""C9 — Federation interception is economical (sections 4.2, 5.6).
+
+Claims: boundaries need gateways that "enforce the security and
+accounting policies of each organization" and "translat[e] between
+differences in protocol"; "for interception to be economical, there must
+be a commonly accepted standard for interworking" — i.e. the cost of
+crossing must be a bounded constant factor, not a cliff.
+
+Series produced:
+  * intra-domain vs cross-domain invocation cost (messages + virtual
+    time), homogeneous and heterogeneous wire formats,
+  * cost vs federation route length (1..4 domains traversed),
+  * the administrative component: guarded + principal-mapped crossing
+    vs unguarded crossing.
+Expected shape: one boundary adds roughly one gateway hop (~1.5-2x);
+each further domain adds another constant increment; format translation
+is absorbed by the gateway (no client-visible failure).
+"""
+
+import pytest
+
+from repro.runtime import World
+
+from benchmarks.workloads import Counter, as_report, write_report
+
+CALLS = 30
+
+
+def _pair(formats=("packed", "packed")):
+    world = World(seed=4)
+    # The first node of A hosts its primary gateway; the server lives on
+    # a different node so the boundary hop is visible in the counts.
+    world.node("A", "a-gateway", formats[0])
+    world.node("A", "a-server", formats[0])
+    world.node("A", "a-client", formats[0])
+    world.node("B", "b-client", formats[1])
+    world.link_domains("A", "B")
+    servers = world.capsule("a-server", "srv")
+    ref = servers.export(Counter())
+    local = world.binder_for(world.capsule("a-client", "cli")).bind(ref)
+    foreign = world.binder_for(world.capsule("b-client", "cli")).bind(ref)
+    return world, local, foreign
+
+
+def _chain(length):
+    world = World(seed=4)
+    for i in range(length + 1):
+        fmt = "packed" if i % 2 == 0 else "tagged"
+        world.node(f"dom{i}", f"n{i}", fmt)
+    for i in range(length):
+        world.link_domains(f"dom{i}", f"dom{i + 1}")
+    servers = world.capsule(f"n{length}", "srv")
+    ref = servers.export(Counter())
+    client = world.binder_for(world.capsule("n0", "cli")).bind(ref)
+    return world, client
+
+
+def _measure(world, proxy, calls=CALLS):
+    start, msgs = world.now, world.network.total_messages
+    for _ in range(calls):
+        proxy.increment()
+    return ((world.now - start) / calls,
+            (world.network.total_messages - msgs) / calls)
+
+
+def test_c9_intra_domain(benchmark):
+    benchmark.group = "C9 boundary crossing"
+    world, local, foreign = _pair()
+    benchmark(lambda: _measure(world, local, 10))
+
+
+def test_c9_cross_domain(benchmark):
+    benchmark.group = "C9 boundary crossing"
+    world, local, foreign = _pair()
+    benchmark(lambda: _measure(world, foreign, 10))
+
+
+@pytest.mark.parametrize("length", [1, 2, 4])
+def test_c9_route_length(benchmark, length):
+    benchmark.group = "C9 route length"
+    world, client = _chain(length)
+    benchmark(lambda: _measure(world, client, 10))
+
+
+def test_c9_report(benchmark):
+    as_report(benchmark, _report)
+
+
+def _report():
+    rows = ["-- one boundary, homogeneous vs heterogeneous formats --"]
+    results = {}
+    for label, formats in (("homogeneous", ("packed", "packed")),
+                           ("heterogeneous", ("packed", "tagged"))):
+        world, local, foreign = _pair(formats)
+        local_ms, local_msgs = _measure(world, local)
+        foreign_ms, foreign_msgs = _measure(world, foreign)
+        results[label] = (local_ms, foreign_ms)
+        rows.append(f"  {label:>14}: intra {local_ms:7.4f} ms "
+                    f"({local_msgs:.0f} msgs) | cross "
+                    f"{foreign_ms:7.4f} ms ({foreign_msgs:.0f} msgs) | "
+                    f"factor {foreign_ms / local_ms:4.2f}x")
+        # Economical: crossing costs a bounded constant factor.
+        assert foreign_ms > local_ms
+        assert foreign_ms < local_ms * 4
+        assert foreign_msgs == local_msgs + 2  # exactly one gateway hop
+
+    rows.append("-- cost vs federation route length --")
+    costs = {}
+    for length in (1, 2, 3, 4):
+        world, client = _chain(length)
+        ms, msgs = _measure(world, client)
+        costs[length] = ms
+        rows.append(f"  {length} boundar{'y' if length == 1 else 'ies'}: "
+                    f"{ms:7.4f} ms, {msgs:.0f} msgs/call")
+    increments = [costs[n + 1] - costs[n] for n in (1, 2, 3)]
+    rows.append(f"  per-extra-domain increments: "
+                f"{['%.4f' % i for i in increments]}")
+    assert all(i > 0 for i in increments)
+    # Roughly constant increment per domain (within 3x of each other).
+    assert max(increments) < 3 * min(increments)
+    write_report("C9", "federation interception cost (sections 4.2, "
+                       "5.6)", rows)

@@ -1,0 +1,128 @@
+"""Federated trading across organisational and technology boundaries.
+
+Two autonomous organisations — a manufacturer running "packed"-format
+machines and a retailer running legacy "tagged"-format machines — link
+their traders, discover each other's services with type-safe, property-
+qualified imports, and invoke across the boundary through gateways that
+translate representation and map principals (paper sections 4.2, 5.6, 6).
+
+Run:  python examples/federated_trading.py
+"""
+
+from repro import (
+    EnvironmentConstraints,
+    OdpObject,
+    SecuritySpec,
+    World,
+    operation,
+    signature_of,
+)
+from repro.security.policy import SecurityPolicy
+
+
+class CatalogueService(OdpObject):
+    """The manufacturer's product catalogue."""
+
+    def __init__(self) -> None:
+        self.products = {"widget": 250, "gadget": 480}  # price in cents
+
+    @operation(params=[str], returns=[int], errors={"unknown": []},
+               readonly=True)
+    def price_of(self, product):
+        from repro import Signal
+        if product not in self.products:
+            raise Signal("unknown")
+        return self.products[product]
+
+    @operation(returns=[[str]], readonly=True)
+    def list_products(self):
+        return sorted(self.products)
+
+
+class OrderDesk(OdpObject):
+    """The manufacturer's order desk — guarded: partners only."""
+
+    def __init__(self) -> None:
+        self.orders = []
+
+    @operation(params=[str, int], returns=[str])
+    def place_order(self, product, quantity):
+        order_id = f"order-{len(self.orders) + 1}"
+        self.orders.append((order_id, product, quantity))
+        return order_id
+
+
+def main() -> None:
+    world = World(seed=21)
+    world.node("manufacturer", "mfg-1", "packed")
+    world.node("manufacturer", "mfg-2", "packed")
+    world.node("retailer", "shop-1", "tagged")
+    mfg = world.domain("manufacturer")
+    shop = world.domain("retailer")
+
+    # The federation contract: bidirectional link; the retailer's buyer
+    # acts as 'partner-buyer' inside the manufacturer's domain.
+    world.link_domains("manufacturer", "retailer",
+                       principal_map={"buyer": "partner-buyer"})
+    mfg.authority.enrol("partner-buyer")
+    shop.authority.enrol("buyer")
+    mfg.policies.register(SecurityPolicy(
+        "orders", {"place_order": {"partner-buyer"}}))
+
+    # Manufacturer exports its services and advertises them.
+    services = world.capsule("mfg-2", "services")
+    catalogue_ref = services.export(CatalogueService())
+    orders_ref = services.export(
+        OrderDesk(),
+        constraints=EnvironmentConstraints(
+            security=SecuritySpec(policy="orders")))
+    mfg.trader.export(catalogue_ref.signature, catalogue_ref,
+                      service_type="catalogue",
+                      properties={"sector": "industrial", "cost": 0})
+    mfg.trader.export(orders_ref.signature, orders_ref,
+                      service_type="ordering",
+                      properties={"sector": "industrial"})
+
+    # Traders federate: the retailer links to the manufacturer's trader.
+    shop.trader.link("supplier", mfg.trader)
+
+    # The retailer's app discovers the catalogue through the federated
+    # trader graph: note max_hops and the context-relative result.
+    print("retailer imports 'catalogue' across the trader link...")
+    reply = shop.trader.import_one(
+        signature_of(CatalogueService),
+        query="sector == 'industrial'", max_hops=1)
+    print(f"  found offer {reply.offer_id} via {reply.via}, "
+          f"defining context: {reply.ref.home_domain}")
+
+    apps = world.capsule("shop-1", "apps")
+    binder = world.binder_for(apps)
+    catalogue = binder.bind(reply.ref, principal="buyer")
+    print(f"  products: {catalogue.list_products()}")
+    print(f"  widget price: {catalogue.price_of('widget')} cents")
+
+    # Ordering is guarded: the gateway maps buyer -> partner-buyer and
+    # the manufacturer's guard admits exactly that principal.
+    order_reply = shop.trader.import_one(signature_of(OrderDesk),
+                                         max_hops=1)
+    desk = binder.bind(order_reply.ref, principal="buyer")
+    order_id = desk.place_order("widget", 12)
+    print(f"  placed {order_id} as 'buyer' "
+          f"(mapped to 'partner-buyer' at the boundary)")
+
+    # An unenrolled principal is stopped at the gateway/guard.
+    shop.authority.enrol("intern")
+    intern_desk = binder.bind(order_reply.ref, principal="intern")
+    try:
+        intern_desk.place_order("gadget", 1)
+    except Exception as exc:
+        print(f"  intern rejected: {type(exc).__name__}")
+
+    link = world.federation.link_between("retailer", "manufacturer")
+    print(f"\nboundary crossings: {link.crossings}, "
+          f"audit denials at manufacturer: {len(mfg.audit.denials())}")
+    print(f"virtual time: {world.now:.2f} ms, traffic: {world.traffic()}")
+
+
+if __name__ == "__main__":
+    main()

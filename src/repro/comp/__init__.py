@@ -1,0 +1,46 @@
+"""The ODP computational model (paper sections 4.1, 4.4, 5.1).
+
+Applications are written against this package only: ADT objects expose
+operations, all interaction is by invocation on *interface references*, and
+distribution requirements are stated declaratively as environment
+constraints.  Nothing here knows how channels, networks or transparency
+mechanisms work — that is the engineering model's business.
+"""
+
+from repro.comp.outcomes import Termination, Signal, OK
+from repro.comp.model import OdpObject, operation, signature_of
+from repro.comp.interface import Interface, InterfaceState
+from repro.comp.reference import AccessPath, InterfaceRef
+from repro.comp.invocation import (
+    Invocation,
+    InvocationContext,
+    InvocationKind,
+    QoS,
+)
+from repro.comp.constraints import (
+    EnvironmentConstraints,
+    ReplicationSpec,
+    FailureSpec,
+    SecuritySpec,
+)
+
+__all__ = [
+    "Termination",
+    "Signal",
+    "OK",
+    "OdpObject",
+    "operation",
+    "signature_of",
+    "Interface",
+    "InterfaceState",
+    "AccessPath",
+    "InterfaceRef",
+    "Invocation",
+    "InvocationContext",
+    "InvocationKind",
+    "QoS",
+    "EnvironmentConstraints",
+    "ReplicationSpec",
+    "FailureSpec",
+    "SecuritySpec",
+]

@@ -1,0 +1,74 @@
+"""Operation outcomes.
+
+Every interrogation finishes in exactly one *termination*: a named outcome
+carrying its own package of results (section 5.1).  Servers produce
+non-``ok`` terminations by raising :class:`Signal`; clients see them either
+as a :class:`Termination` value (low-level API) or as a raised
+:class:`Signal` (proxy API).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+#: Conventional name of the success termination.
+OK = "ok"
+
+
+class Termination:
+    """The outcome of one interrogation: a name plus result values."""
+
+    __slots__ = ("name", "values")
+
+    #: Terminations are immutable values (copyable state).
+    __odp_frozen__ = True
+
+    def __init__(self, name: str, values: Tuple[Any, ...] = ()) -> None:
+        self.name = name
+        self.values = tuple(values)
+
+    @property
+    def ok(self) -> bool:
+        return self.name == OK
+
+    def single(self) -> Any:
+        """The sole result value (errors if there is not exactly one)."""
+        if len(self.values) != 1:
+            raise ValueError(
+                f"termination {self.name!r} has {len(self.values)} values")
+        return self.values[0]
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Termination)
+                and self.name == other.name
+                and self.values == other.values)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.values))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"Termination({self.name!r}, ({inner}))"
+
+
+class Signal(Exception):
+    """Raised by a server method to select a non-ok termination.
+
+    Also raised client-side by proxies when the server terminated with an
+    outcome other than ``ok``, so application code can ``except Signal``.
+    """
+
+    def __init__(self, name: str, *values: Any) -> None:
+        super().__init__(name)
+        self.termination = Termination(name, values)
+
+    @property
+    def name(self) -> str:
+        return self.termination.name
+
+    @property
+    def values(self) -> Tuple[Any, ...]:
+        return self.termination.values
+
+    def __repr__(self) -> str:
+        return f"Signal({self.termination!r})"

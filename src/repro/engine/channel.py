@@ -1,0 +1,270 @@
+"""Channels: the client-side access path to an interface.
+
+A channel owns the *current* reference to the target (location transparency
+may replace it), a stack of client layers, and a transport.  Two transports
+exist:
+
+* :class:`TransportLayer` — the real thing: marshal into the target's wire
+  format, exchange messages over the simulated network with QoS-driven
+  retries and deadlines.
+* :class:`LocalTransport` — the direct-local-access optimisation of
+  section 4.5: when client and server are co-located (and the constraints
+  allow it) the channel skips marshalling and the network entirely and
+  calls straight into the server capsule — which still runs the server-side
+  stack, so guards and concurrency control are never bypassed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.comp.invocation import (
+    Invocation,
+    InvocationContext,
+    InvocationKind,
+    QoS,
+)
+from repro.comp.outcomes import Termination
+from repro.comp.reference import AccessPath, InterfaceRef
+from repro.engine.layers import compose_client
+from repro.engine.nucleus import FORMAT_ERROR_REPLY, Nucleus
+from repro.engine.wire_errors import raise_error
+from repro.errors import (
+    BindingError,
+    CommunicationError,
+    DeadlineExceededError,
+    MarshalError,
+    MessageLostError,
+    NodeUnreachableError,
+    ProtocolMismatchError,
+)
+from repro.ndr.formats import get_format
+
+
+class Channel:
+    """A bound access path from one client capsule to one interface."""
+
+    def __init__(self, ref: InterfaceRef, client_nucleus: Nucleus,
+                 client_capsule, layers, transport) -> None:
+        self.ref = ref
+        self.client_nucleus = client_nucleus
+        self.client_capsule = client_capsule
+        self.layers = list(layers)
+        self.transport = transport
+        transport.attach(self)
+        for layer in self.layers:
+            if hasattr(layer, "attach"):
+                layer.attach(self)
+        self._chain = compose_client(self.layers, transport.send)
+        self.invocations = 0
+
+    def rebind(self, new_ref: InterfaceRef) -> None:
+        """Point the channel at a new reference (location transparency)."""
+        self.ref = new_ref
+
+    def invoke(self, operation: str, args: Tuple = (),
+               kind: InvocationKind = InvocationKind.INTERROGATION,
+               qos: Optional[QoS] = None,
+               context: Optional[InvocationContext] = None
+               ) -> Optional[Termination]:
+        self.invocations += 1
+        invocation = Invocation(
+            interface_id=self.ref.interface_id,
+            operation=operation,
+            args=tuple(args),
+            kind=kind,
+            qos=qos or QoS.DEFAULT,
+            context=context if context is not None else InvocationContext(),
+            epoch=self.ref.epoch,
+        )
+        return self._chain(invocation)
+
+
+class LocalTransport:
+    """Direct dispatch into a co-located server capsule."""
+
+    name = "local"
+
+    def __init__(self, server_capsule, scheduler) -> None:
+        self.server_capsule = server_capsule
+        self.scheduler = scheduler
+        self.channel: Optional[Channel] = None
+
+    def attach(self, channel: Channel) -> None:
+        self.channel = channel
+
+    def send(self, invocation: Invocation) -> Optional[Termination]:
+        # Refresh identity in case a layer above rebound the channel.
+        invocation.interface_id = self.channel.ref.interface_id
+        invocation.epoch = self.channel.ref.epoch
+        if invocation.kind == InvocationKind.ANNOUNCEMENT:
+            self.scheduler.after(
+                0.0, lambda: self._announce(invocation),
+                label=f"local-announce:{invocation.operation}")
+            return None
+        return self.server_capsule.dispatch(invocation)
+
+    def _announce(self, invocation: Invocation) -> None:
+        try:
+            self.server_capsule.dispatch(invocation)
+        except Exception:  # announcements cannot report failure
+            pass
+
+
+class TransportLayer:
+    """Marshalling + network exchange with QoS retries and deadlines."""
+
+    name = "transport"
+
+    def __init__(self, client_nucleus: Nucleus, client_capsule,
+                 allow_local: bool = True) -> None:
+        self.nucleus = client_nucleus
+        self.capsule = client_capsule
+        self.network = client_nucleus.network
+        #: Direct-local-access optimisation (section 4.5): co-located
+        #: targets are dispatched straight into their capsule, skipping
+        #: marshalling and the network.  Disable to force the full path.
+        self.allow_local = allow_local
+        self.channel: Optional[Channel] = None
+        self.messages_sent = 0
+        self.local_dispatches = 0
+        self.retries = 0
+
+    def attach(self, channel: Channel) -> None:
+        self.channel = channel
+
+    # -- path selection ---------------------------------------------------------
+
+    def _select_path(self, qos: QoS) -> Tuple[AccessPath, ...]:
+        ref = self.channel.ref
+        if not ref.paths:
+            raise BindingError(
+                f"reference {ref.interface_id} carries no access paths")
+        if qos.protocol:
+            paths = ref.paths_for_protocol(qos.protocol)
+            if not paths:
+                raise ProtocolMismatchError(
+                    f"no access path speaks protocol {qos.protocol!r}")
+            return paths
+        return ref.paths
+
+    # -- encode/decode ------------------------------------------------------------
+
+    def _encode(self, invocation: Invocation, path: AccessPath) -> bytes:
+        wire = get_format(path.wire_format)
+        marshaller = self.nucleus.marshaller_for(self.capsule)
+        envelope = {
+            "capsule": path.capsule,
+            "inv": {
+                "id": invocation.interface_id,
+                "op": invocation.operation,
+                "args": marshaller.marshal_args(invocation.args),
+                "kind": invocation.kind.value,
+                "epoch": invocation.epoch,
+                "ctx": Nucleus.encode_context(invocation.context),
+            },
+        }
+        return wire.dumps(envelope)
+
+    def _decode_reply(self, payload: bytes,
+                      path: AccessPath) -> Termination:
+        if payload == FORMAT_ERROR_REPLY:
+            raise ProtocolMismatchError(
+                f"node {path.node} could not decode our "
+                f"{path.wire_format!r} message")
+        wire = get_format(path.wire_format)
+        try:
+            reply = wire.loads(payload)
+        except MarshalError as exc:
+            raise ProtocolMismatchError(
+                f"reply from {path.node} not in {path.wire_format!r}: "
+                f"{exc}") from exc
+        marshaller = self.nucleus.marshaller_for(self.capsule)
+        if "error" in reply:
+            raise_error(reply["error"], marshaller)
+        return marshaller.unmarshal(reply["term"])
+
+    # -- the exchange -----------------------------------------------------------
+
+    def _try_local(self, invocation: Invocation
+                   ) -> Optional[Termination]:
+        """Dispatch directly when the current path is on this node."""
+        if self.network.faults.is_crashed(self.nucleus.node_address):
+            raise NodeUnreachableError(
+                f"node {self.nucleus.node_address} is crashed; it can "
+                f"invoke nothing")
+        path = self.channel.ref.primary_path()
+        if path.node != self.nucleus.node_address:
+            return None
+        target = self.nucleus.capsules.get(path.capsule)
+        if target is None:
+            return None
+        self.local_dispatches += 1
+        if invocation.kind == InvocationKind.ANNOUNCEMENT:
+            def run() -> None:
+                try:
+                    target.dispatch(invocation)
+                except Exception:
+                    pass  # announcements cannot report failure
+
+            self.network.scheduler.after(0.0, run, label="local-announce")
+            # A non-None sentinel is needed so the caller knows the send
+            # happened; announcements have no termination.
+            return Termination("ok", ())
+        return target.dispatch(invocation)
+
+    def send(self, invocation: Invocation) -> Optional[Termination]:
+        invocation.interface_id = self.channel.ref.interface_id
+        invocation.epoch = self.channel.ref.epoch
+        qos = invocation.qos
+        if self.allow_local and self.channel.ref.paths:
+            local = self._try_local(invocation)
+            if local is not None:
+                if invocation.kind == InvocationKind.ANNOUNCEMENT:
+                    return None
+                return local
+        if invocation.kind == InvocationKind.ANNOUNCEMENT:
+            path = self._select_path(qos)[0]
+            self.network.post(self.nucleus.node_address, path.node,
+                              self._encode(invocation, path), kind="invoke")
+            self.messages_sent += 1
+            return None
+
+        started = self.network.scheduler.now
+        deadline = (None if qos.deadline_ms is None
+                    else started + qos.deadline_ms)
+        last_unreachable: Optional[Exception] = None
+
+        for path in self._select_path(qos):
+            attempts = qos.retries + 1
+            for attempt in range(attempts):
+                if deadline is not None and \
+                        self.network.scheduler.now >= deadline:
+                    raise DeadlineExceededError(
+                        f"{invocation.operation}: deadline "
+                        f"{qos.deadline_ms}ms exceeded before completion")
+                try:
+                    payload = self._encode(invocation, path)
+                    self.messages_sent += 1
+                    reply = self.network.request(
+                        self.nucleus.node_address, path.node, payload,
+                        protocol=path.protocol)
+                    termination = self._decode_reply(reply, path)
+                    if deadline is not None and \
+                            self.network.scheduler.now > deadline:
+                        raise DeadlineExceededError(
+                            f"{invocation.operation}: reply arrived after "
+                            f"the {qos.deadline_ms}ms deadline")
+                    return termination
+                except MessageLostError:
+                    self.retries += 1
+                    if attempt + 1 >= attempts:
+                        raise
+                    self.network.scheduler.clock.advance(qos.retry_delay_ms)
+                except NodeUnreachableError as exc:
+                    last_unreachable = exc
+                    break  # try the next access path
+        if last_unreachable is not None:
+            raise last_unreachable
+        raise CommunicationError(
+            f"{invocation.operation}: all access paths failed")

@@ -1,0 +1,237 @@
+"""The nucleus: per-node engineering kernel.
+
+Each node runs one nucleus.  It creates capsules, connects them to the
+network (request handler for interrogations, delivery handler for
+announcements), owns the node's marshalling in its native wire format, and
+charges simulated processing time for every dispatch.  It is also the hook
+point where the transparency compiler attaches server-side mechanism
+stacks at export time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.comp.invocation import (
+    Invocation,
+    InvocationContext,
+    InvocationKind,
+)
+from repro.comp.outcomes import Termination
+from repro.engine.capsule import Capsule
+from repro.engine.wire_errors import encode_error
+from repro.errors import MarshalError, OdpError
+from repro.comp.reference import AccessPath
+from repro.ndr.codec import Marshaller
+from repro.ndr.formats import get_format
+from repro.net.network import Network, NetworkNode
+
+#: Sentinel reply for undecodable requests (wire-format mismatch).
+FORMAT_ERROR_REPLY = b"!FORMAT-MISMATCH"
+
+
+class Nucleus:
+    """Kernel services for one node."""
+
+    def __init__(self, network: Network, node: NetworkNode,
+                 domain=None, processing_ms: float = 0.05) -> None:
+        self.network = network
+        self.node = node
+        self.domain = domain
+        self.processing_ms = processing_ms
+        self.capsules: Dict[str, Capsule] = {}
+        self.wire = get_format(node.native_format)
+        self.requests_handled = 0
+        self.announcements_handled = 0
+        node.on_request(self._handle_request)
+        node.on_deliver("invoke", self._handle_announcement)
+        node.on_deliver("ainvoke", self._handle_async_request)
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def node_address(self) -> str:
+        return self.node.address
+
+    def mint_interface_id(self) -> str:
+        if self.domain is not None:
+            return self.domain.mint(f"if.{self.node.address}")
+        return f"if.{self.node.address}-{self.requests_handled}-" \
+               f"{len(self.capsules)}-{sum(len(c.interfaces) for c in self.capsules.values())}"
+
+    # -- capsules -------------------------------------------------------------
+
+    def create_capsule(self, name: str) -> Capsule:
+        if name in self.capsules:
+            raise ValueError(f"capsule {name!r} already exists on "
+                             f"{self.node.address}")
+        capsule = Capsule(name, self)
+        self.capsules[name] = capsule
+        return capsule
+
+    def capsule(self, name: str) -> Capsule:
+        return self.capsules[name]
+
+    def access_paths(self, capsule_name: str):
+        """One access path per protocol the node speaks, "rrp" first."""
+        protocols = ["rrp"] + sorted(self.node.protocols - {"rrp"})
+        return tuple(
+            AccessPath(self.node.address, capsule_name,
+                       protocol=protocol,
+                       wire_format=self.node.native_format)
+            for protocol in protocols)
+
+    def marshaller_for(self, capsule: Capsule) -> Marshaller:
+        return Marshaller(exporter=capsule.implicit_export)
+
+    # -- export-time hooks -------------------------------------------------------
+
+    def compile_server_side(self, capsule: Capsule, interface,
+                            constraints) -> None:
+        """Delegate to the transparency compiler (lazy import: the compiler
+        sits above the engine in the layering)."""
+        from repro.transparency.compiler import compile_server_stack
+
+        compile_server_stack(self, capsule, interface, constraints)
+
+    def register_export(self, capsule: Capsule, interface, ref) -> None:
+        if self.domain is not None:
+            self.domain.notice_export(self, capsule, interface, ref)
+
+    # -- wire handling -------------------------------------------------------------
+
+    def _decode_invocation(self, capsule: Capsule,
+                           obj: Dict[str, Any]) -> Invocation:
+        marshaller = self.marshaller_for(capsule)
+        ctx_obj = obj.get("ctx", {})
+        context = InvocationContext(
+            principal=ctx_obj.get("principal"),
+            credentials=dict(ctx_obj.get("credentials", {})),
+            transaction_id=ctx_obj.get("transaction_id"),
+            origin_domain=ctx_obj.get("origin_domain"),
+            via_domains=tuple(ctx_obj.get("via_domains", ())),
+            extra=dict(ctx_obj.get("extra", {})),
+        )
+        return Invocation(
+            interface_id=obj["id"],
+            operation=obj["op"],
+            args=marshaller.unmarshal_args(obj.get("args", [])),
+            kind=(InvocationKind.ANNOUNCEMENT
+                  if obj.get("kind") == "announcement"
+                  else InvocationKind.INTERROGATION),
+            context=context,
+            epoch=obj.get("epoch", 0),
+        )
+
+    @staticmethod
+    def encode_context(context: InvocationContext) -> Dict[str, Any]:
+        return {
+            "principal": context.principal,
+            "credentials": dict(context.credentials),
+            "transaction_id": context.transaction_id,
+            "origin_domain": context.origin_domain,
+            "via_domains": list(context.via_domains),
+            "extra": dict(context.extra),
+        }
+
+    def _handle_request(self, source: str, payload: bytes) -> bytes:
+        try:
+            envelope = self.wire.loads(payload)
+        except MarshalError:
+            return FORMAT_ERROR_REPLY
+
+        self.requests_handled += 1
+        self.network.scheduler.clock.advance(self.processing_ms)
+
+        capsule = self.capsules.get(envelope.get("capsule", ""))
+        if capsule is None:
+            reply = {"error": {"code": "stale",
+                               "msg": f"no capsule "
+                                      f"{envelope.get('capsule')!r} on "
+                                      f"{self.node.address}"}}
+            return self.wire.dumps(reply)
+
+        if "txctl" in envelope:
+            return self.wire.dumps(self._handle_txctl(capsule,
+                                                      envelope["txctl"]))
+
+        if "fedfwd" in envelope:
+            if self.domain is None:
+                reply = {"error": {"code": "federation",
+                                   "msg": "node belongs to no domain"}}
+            else:
+                reply = self.domain.handle_fedfwd(self, capsule,
+                                                  envelope["fedfwd"])
+            return self.wire.dumps(reply)
+
+        marshaller = self.marshaller_for(capsule)
+        try:
+            invocation = self._decode_invocation(capsule, envelope["inv"])
+            termination = capsule.dispatch(invocation)
+            reply = {"term": marshaller.marshal(termination)}
+        except OdpError as exc:
+            reply = {"error": encode_error(exc, marshaller)}
+        return self.wire.dumps(reply)
+
+    def _handle_txctl(self, capsule, control: Dict[str, Any]
+                      ) -> Dict[str, Any]:
+        """Answer a 2PC prepare/commit/abort from a remote coordinator."""
+        interface = capsule.interfaces.get(control.get("iface", ""))
+        if interface is None:
+            return {"txr": {"ok": False, "msg": "interface gone"}}
+        layer = interface.annotations.get("concurrency_layer")
+        if layer is None:
+            return {"txr": {"ok": False,
+                            "msg": "interface has no concurrency control"}}
+        ok, msg = layer.txctl(control.get("phase", ""),
+                              control.get("tx", ""))
+        return {"txr": {"ok": ok, "msg": msg}}
+
+    def _handle_async_request(self, message) -> None:
+        """Split-phase interrogation: dispatch, then post the reply back
+        to the caller's reply router (see repro.engine.futures)."""
+        try:
+            envelope = self.wire.loads(message.payload)
+        except MarshalError:
+            return
+        capsule = self.capsules.get(envelope.get("capsule", ""))
+        reply_to = envelope.get("reply_to", "")
+        if capsule is None or not reply_to:
+            return
+        self.network.scheduler.clock.advance(self.processing_ms)
+        marshaller = self.marshaller_for(capsule)
+        try:
+            invocation = self._decode_invocation(capsule, envelope["inv"])
+            termination = capsule.dispatch(invocation)
+            reply = {"term": marshaller.marshal(termination)}
+        except OdpError as exc:
+            reply = {"error": encode_error(exc, marshaller)}
+        reply["call_id"] = envelope.get("call_id", "")
+        try:
+            reply_wire = get_format(
+                self.network.node(reply_to).native_format)
+        except OdpError:
+            return
+        self.network.post(self.node_address, reply_to,
+                          reply_wire.dumps(reply), kind="reply")
+
+    def _handle_announcement(self, message) -> None:
+        """One-way invocation: spawn the work, report nothing (section 5.1)."""
+        try:
+            envelope = self.wire.loads(message.payload)
+        except MarshalError:
+            return
+        self.announcements_handled += 1
+        self.network.scheduler.clock.advance(self.processing_ms)
+        capsule = self.capsules.get(envelope.get("capsule", ""))
+        if capsule is None:
+            return
+        try:
+            invocation = self._decode_invocation(capsule, envelope["inv"])
+            capsule.dispatch(invocation)
+        except OdpError:
+            pass  # announcements cannot report failure
+
+    def __repr__(self) -> str:
+        return (f"Nucleus({self.node.address}, "
+                f"{len(self.capsules)} capsules)")

@@ -1,0 +1,84 @@
+"""Low-level remote invocation helper.
+
+Group replication and federation gateways need to aim a single invocation
+at an explicit (node, capsule, interface) target that is not the channel's
+own bound reference.  This helper performs one marshalled network exchange
+— the same wire discipline as :class:`~repro.engine.channel.TransportLayer`
+but without a channel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.comp.invocation import Invocation, InvocationKind
+from repro.comp.outcomes import Termination
+from repro.engine.nucleus import FORMAT_ERROR_REPLY, Nucleus
+from repro.engine.wire_errors import raise_error
+from repro.errors import MarshalError, ProtocolMismatchError
+from repro.ndr.formats import get_format
+
+
+def invoke_at(nucleus: Nucleus, client_capsule, node: str,
+              capsule_name: str, interface_id: str,
+              invocation: Invocation,
+              epoch: int = 0) -> Optional[Termination]:
+    """Send *invocation* to an explicit target over the network.
+
+    Local targets short-circuit through the co-located capsule (the callers
+    decide whether that is permitted).  Announcements return ``None``.
+    """
+    network = nucleus.network
+    if network.faults.is_crashed(nucleus.node_address):
+        from repro.errors import NodeUnreachableError
+        raise NodeUnreachableError(
+            f"node {nucleus.node_address} is crashed; it can invoke "
+            f"nothing")
+    if node == nucleus.node_address:
+        target = nucleus.capsules.get(capsule_name)
+        if target is not None:
+            redirected = _redirect(invocation, interface_id, epoch)
+            return target.dispatch(redirected)
+
+    wire = get_format(network.node(node).native_format)
+    marshaller = nucleus.marshaller_for(client_capsule)
+    redirected = _redirect(invocation, interface_id, epoch)
+    payload = wire.dumps({
+        "capsule": capsule_name,
+        "inv": {
+            "id": redirected.interface_id,
+            "op": redirected.operation,
+            "args": marshaller.marshal_args(redirected.args),
+            "kind": redirected.kind.value,
+            "epoch": redirected.epoch,
+            "ctx": Nucleus.encode_context(redirected.context),
+        },
+    })
+    if invocation.kind == InvocationKind.ANNOUNCEMENT:
+        network.post(nucleus.node_address, node, payload, kind="invoke")
+        return None
+    reply_bytes = network.request(nucleus.node_address, node, payload)
+    if reply_bytes == FORMAT_ERROR_REPLY:
+        raise ProtocolMismatchError(
+            f"node {node} could not decode our message")
+    try:
+        reply = wire.loads(reply_bytes)
+    except MarshalError as exc:
+        raise ProtocolMismatchError(str(exc)) from exc
+    if "error" in reply:
+        raise_error(reply["error"], marshaller)
+    return marshaller.unmarshal(reply["term"])
+
+
+def _redirect(invocation: Invocation, interface_id: str,
+              epoch: int) -> Invocation:
+    """A copy of *invocation* aimed at a different interface."""
+    return Invocation(
+        interface_id=interface_id,
+        operation=invocation.operation,
+        args=invocation.args,
+        kind=invocation.kind,
+        qos=invocation.qos,
+        context=invocation.context.copy(),
+        epoch=epoch,
+    )

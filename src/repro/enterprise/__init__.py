@@ -1,0 +1,33 @@
+"""The enterprise language (paper section 8).
+
+"The enterprise language focuses on the ideas of communities (i.e.
+organizations of one sort or another), roles within communities and the
+objectives of a community.  An understanding of these issues provides the
+design rationale for placing security and dependability requirements on
+the components of an ODP system."
+
+This package models communities, roles, objectives and contracts, and —
+the practical payoff — *derives* engineering requirements from them:
+mission-critical roles yield environment constraints with failure and
+concurrency transparency plus replication advice, contractual interactions
+yield audited security policies.
+"""
+
+from repro.enterprise.model import (
+    Community,
+    Role,
+    Objective,
+    Contract,
+    Dependability,
+)
+from repro.enterprise.derive import derive_constraints, derive_policy
+
+__all__ = [
+    "Community",
+    "Role",
+    "Objective",
+    "Contract",
+    "Dependability",
+    "derive_constraints",
+    "derive_policy",
+]

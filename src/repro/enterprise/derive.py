@@ -1,0 +1,91 @@
+"""Deriving engineering requirements from enterprise statements.
+
+The paper's bridge between viewpoints: "mission critical resources should
+be carefully protected; contractual interactions should be subject to
+audit" (section 8).  Given a community and the role a server fills, these
+functions produce the :class:`~repro.comp.constraints.EnvironmentConstraints`
+the export should use and the :class:`~repro.security.policy.SecurityPolicy`
+its guard should enforce — the declarative statements the transparency
+compiler and guard generator then turn into mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.comp.constraints import (
+    EnvironmentConstraints,
+    FailureSpec,
+    ReplicationSpec,
+    SecuritySpec,
+)
+from repro.enterprise.model import Community, Dependability, Role
+from repro.security.policy import SecurityPolicy
+
+
+@dataclass
+class DerivedRequirements:
+    """Constraints plus out-of-band advice the constraints cannot carry."""
+
+    constraints: EnvironmentConstraints
+    #: Replication cannot be expressed on a single export — it needs the
+    #: group registry — so it is returned as advice.
+    replication_advice: Optional[ReplicationSpec]
+    policy: SecurityPolicy
+
+
+def derive_policy(community: Community, server_role: Role) -> SecurityPolicy:
+    """Generate the guard policy for servers filling *server_role*.
+
+    Each operation the role provides is allowed exactly to the principals
+    whose roles perform it (per role declarations and contracts).
+    """
+    policy = SecurityPolicy(
+        f"{community.name}:{server_role.name}", default_allow=False)
+    for op_name in server_role.provides:
+        for role in community.roles.values():
+            if op_name not in role.performs:
+                continue
+            for principal in community.fillers(role.name):
+                policy.allow(op_name, principal)
+    return policy
+
+
+def derive_constraints(community: Community,
+                       server_role: Role) -> DerivedRequirements:
+    """Map a role's enterprise attributes onto engineering selections."""
+    audited_ops = community.audited_operations()
+    needs_audit = bool(audited_ops & server_role.provides)
+    policy = derive_policy(community, server_role)
+
+    security = SecuritySpec(
+        policy=policy.name,
+        require_authentication=True,
+        audit=needs_audit)
+
+    dependability = server_role.dependability
+    if dependability == Dependability.MISSION_CRITICAL:
+        constraints = EnvironmentConstraints(
+            location=True,
+            concurrency=True,
+            failure=FailureSpec(checkpoint_every=5),
+            security=security,
+            allow_local_shortcut=False)  # never bypass the guards' path
+        advice = ReplicationSpec(replicas=3, policy="active",
+                                 reply_quorum=2)
+    elif dependability == Dependability.STANDARD:
+        constraints = EnvironmentConstraints(
+            location=True,
+            concurrency=True,
+            security=security)
+        advice = None
+    else:  # best effort: flexibility retained, mechanism left out
+        constraints = EnvironmentConstraints(
+            location=True,
+            security=security if needs_audit else None)
+        advice = None
+
+    return DerivedRequirements(constraints=constraints,
+                               replication_advice=advice,
+                               policy=policy)

@@ -1,0 +1,201 @@
+"""Exception hierarchy for the ODP reproduction.
+
+The paper (section 4.1) insists that an ODP programmer "has to think harder
+about error handling": invocations may fail because of separation, latency,
+heterogeneity or federation boundaries.  Every failure mode the platform can
+surface is an :class:`OdpError` subclass so applications can distinguish
+infrastructure failures from application-level terminations.
+"""
+
+from __future__ import annotations
+
+
+class OdpError(Exception):
+    """Base class for every error raised by the platform."""
+
+
+# ---------------------------------------------------------------------------
+# Typing / computational-model errors
+# ---------------------------------------------------------------------------
+
+class TypeCheckError(OdpError):
+    """An interface signature failed a structural conformance check."""
+
+
+class SignatureError(OdpError):
+    """An operation/termination declaration is malformed."""
+
+
+class MarshalError(OdpError):
+    """A value could not be encoded or decoded for the wire."""
+
+
+class UnknownOperationError(OdpError):
+    """An invocation named an operation the interface does not provide."""
+
+
+# ---------------------------------------------------------------------------
+# Communication / engineering errors
+# ---------------------------------------------------------------------------
+
+class CommunicationError(OdpError):
+    """Base for failures in the message path between client and server."""
+
+
+class NodeUnreachableError(CommunicationError):
+    """The destination node is crashed or partitioned away."""
+
+
+class MessageLostError(CommunicationError):
+    """The network dropped the message and no retry succeeded."""
+
+
+class DeadlineExceededError(CommunicationError):
+    """A QoS deadline elapsed before the interrogation completed."""
+
+
+class ProtocolMismatchError(CommunicationError):
+    """Client and server share no common protocol / wire format."""
+
+
+class BindingError(OdpError):
+    """The binder could not construct a channel to the target interface."""
+
+
+class ServerFaultError(OdpError):
+    """The server implementation raised an unexpected (non-Signal) error.
+
+    The fault is reported to the invoker rather than masked: transparency
+    "cannot guarantee that things will always work perfectly" (section 4.1).
+    """
+
+
+class StaleReferenceError(OdpError):
+    """The interface is no longer at the location the reference names.
+
+    Carries an optional forwarding hint so location transparency can repair
+    the binding without a full relocator lookup.
+    """
+
+    def __init__(self, message: str = "stale interface reference",
+                 forward_hint=None):
+        super().__init__(message)
+        self.forward_hint = forward_hint
+
+
+class InterfaceClosedError(OdpError):
+    """The interface was explicitly closed (section 7.3) or withdrawn."""
+
+
+# ---------------------------------------------------------------------------
+# Transaction errors (concurrency transparency, section 5.2)
+# ---------------------------------------------------------------------------
+
+class TransactionError(OdpError):
+    """Base for transaction failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (by conflict, deadlock or request)."""
+
+
+class DeadlockError(TransactionAborted):
+    """The deadlock detector chose this transaction as a victim."""
+
+
+class LockTimeoutError(TransactionAborted):
+    """A lock could not be granted within the configured bound."""
+
+
+class LockBusyError(TransactionError):
+    """The lock is currently held by a conflicting transaction.
+
+    Unlike the abort errors this is *retryable*: the transaction is still
+    alive and the operation may be re-issued once the holder finishes.  The
+    transaction runner uses it to simulate blocking lock waits on the
+    virtual clock.
+    """
+
+
+class InvalidTransactionState(TransactionError):
+    """An operation was applied to a finished or unknown transaction."""
+
+
+class OrderingViolation(TransactionError):
+    """A consistency (ordering-predicate) constraint was violated."""
+
+
+# ---------------------------------------------------------------------------
+# Replication / group errors (section 5.3)
+# ---------------------------------------------------------------------------
+
+class GroupError(OdpError):
+    """Base for replica-group failures."""
+
+
+class NoQuorumError(GroupError):
+    """Not enough live members to satisfy the group policy."""
+
+
+class MembershipError(GroupError):
+    """A join/leave request was invalid for the current view."""
+
+
+# ---------------------------------------------------------------------------
+# Federation / security errors (sections 4.2, 5.6, 7.1)
+# ---------------------------------------------------------------------------
+
+class FederationError(OdpError):
+    """A cross-domain interaction could not be intercepted/translated."""
+
+
+class AccessDeniedError(OdpError):
+    """A guard rejected the invocation under the active security policy."""
+
+
+class AuthenticationError(AccessDeniedError):
+    """The invocation's credentials failed verification."""
+
+
+# ---------------------------------------------------------------------------
+# Trading errors (section 6)
+# ---------------------------------------------------------------------------
+
+class TradingError(OdpError):
+    """Base for trader failures."""
+
+
+class NoOfferError(TradingError):
+    """No service offer matched the import request."""
+
+
+class PropertyQueryError(TradingError):
+    """A property constraint expression was malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Storage / recovery errors (section 5.5)
+# ---------------------------------------------------------------------------
+
+class StorageError(OdpError):
+    """The stable object repository rejected an operation."""
+
+
+class RecoveryError(OdpError):
+    """A failed object could not be reinstated from checkpoint + log."""
+
+
+class MigrationError(OdpError):
+    """An object refused or failed to migrate."""
+
+
+# ---------------------------------------------------------------------------
+# Streams (section 7.2)
+# ---------------------------------------------------------------------------
+
+class StreamError(OdpError):
+    """Base for stream-binding failures."""
+
+
+class QoSViolation(StreamError):
+    """A stream's measured quality fell below its contract."""

@@ -1,0 +1,17 @@
+"""Event distribution: typed channels and a distributed blackboard.
+
+Two structures the paper gestures at, built from the primitives the
+platform already has:
+
+* :class:`EventChannel` — topic-based publish/subscribe over
+  *announcements* (section 5.1's request-only interactions: fire-and-
+  forget, failures unreportable, ideal for events);
+* :class:`Blackboard` — the "more general distributed 'blackboard'
+  structures" of section 5.3: shared tuples posted by anyone, read and
+  taken by anyone, replicable behind a group reference for reliability.
+"""
+
+from repro.events.channel import EventChannel, Subscriber
+from repro.events.blackboard import Blackboard
+
+__all__ = ["EventChannel", "Subscriber", "Blackboard"]

@@ -1,0 +1,204 @@
+"""Federation transparency: the boundary-crossing machinery.
+
+Client side: :class:`FederationClientLayer` detects that the target
+interface is defined in another domain, checks the egress contract, adds
+context-relative annotations, and forwards the invocation to the next
+domain's *gateway* over the network (in the gateway's native wire format —
+this is where technology translation physically happens).
+
+Gateway side: :func:`gateway_process` performs the administrative
+interception of section 5.6 — ingress checks, principal mapping,
+credential re-issue — then either delivers locally or forwards to the next
+hop along the federation route.  Replies crossing back out get their
+references annotated with the defining context (section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.comp.constraints import EnvironmentConstraints
+from repro.comp.invocation import (
+    Invocation,
+    InvocationContext,
+    InvocationKind,
+)
+from repro.comp.outcomes import Termination
+from repro.engine.layers import ClientLayer
+from repro.engine.nucleus import FORMAT_ERROR_REPLY, Nucleus
+from repro.engine.wire_errors import raise_error
+from repro.errors import FederationError, MarshalError, ProtocolMismatchError
+from repro.federation.naming import annotate_refs
+from repro.ndr.formats import get_format
+
+
+class FederationClientLayer(ClientLayer):
+    """Routes invocations whose target lives in a foreign domain."""
+
+    name = "federation"
+
+    def __init__(self, nucleus, capsule, domain) -> None:
+        self.nucleus = nucleus
+        self.capsule = capsule
+        self.domain = domain
+        self.channel = None
+        self.crossings = 0
+
+    def attach(self, channel) -> None:
+        self.channel = channel
+
+    def request(self, invocation: Invocation, next_layer) -> Termination:
+        federation = self.domain.federation
+        target_domain = federation.domain_of_ref(self.channel.ref)
+        if target_domain is None or target_domain == self.domain.name:
+            return next_layer(invocation)
+
+        route = federation.route(self.domain.name, target_domain)
+        next_hop = route[1]
+        link = federation.link_between(self.domain.name, next_hop)
+        link.check_egress(invocation.context.principal,
+                          invocation.operation)
+        link.crossings += 1
+        link.account(invocation.context.principal, invocation.operation)
+        self.crossings += 1
+
+        invocation.args = annotate_refs(
+            invocation.args, self.domain.name, self.domain.defined_here)
+        invocation.context.via_domains = (
+            invocation.context.via_domains + (self.domain.name,))
+        if invocation.context.origin_domain is None:
+            invocation.context.origin_domain = self.domain.name
+
+        termination = forward_to_domain(
+            self.nucleus, self.capsule, federation, next_hop,
+            self.channel.ref, invocation)
+        if termination is None:
+            return Termination("ok", ())
+        return termination
+
+
+def forward_to_domain(nucleus, capsule, federation, hop_domain_name: str,
+                      ref, invocation: Invocation) -> Termination:
+    """One network exchange with *hop_domain*, trying each of its
+    boundary gateways until one is reachable."""
+    from repro.errors import NodeUnreachableError
+
+    hop_domain = federation.domain(hop_domain_name)
+    marshaller = nucleus.marshaller_for(capsule)
+    last_error = None
+    for gw_node, gw_capsule in hop_domain.gateways():
+        wire = get_format(federation.network.node(gw_node).native_format)
+        payload = wire.dumps({
+            "capsule": gw_capsule,
+            "fedfwd": {
+                "ref": marshaller.marshal(ref),
+                "inv": {
+                    "id": invocation.interface_id,
+                    "op": invocation.operation,
+                    "args": marshaller.marshal_args(invocation.args),
+                    "kind": invocation.kind.value,
+                    "epoch": invocation.epoch,
+                    "ctx": Nucleus.encode_context(invocation.context),
+                },
+            },
+        })
+        try:
+            reply_bytes = federation.network.request(
+                nucleus.node_address, gw_node, payload)
+        except NodeUnreachableError as exc:
+            last_error = exc
+            continue
+        if reply_bytes == FORMAT_ERROR_REPLY:
+            raise ProtocolMismatchError(
+                f"gateway {gw_node} could not decode our message")
+        try:
+            reply = wire.loads(reply_bytes)
+        except MarshalError as exc:
+            raise ProtocolMismatchError(str(exc)) from exc
+        if "error" in reply:
+            raise_error(reply["error"], marshaller)
+        return marshaller.unmarshal(reply["term"])
+    raise FederationError(
+        f"no reachable gateway in domain {hop_domain_name}: {last_error}")
+
+
+def gateway_process(domain, nucleus, capsule, marshaller,
+                    obj: dict) -> Termination:
+    """Administrative + technology interception at a domain gateway."""
+    federation = domain.federation
+    ref = marshaller.unmarshal(obj["ref"])
+    inv_obj = obj["inv"]
+    ctx_obj = inv_obj.get("ctx", {})
+    via = tuple(ctx_obj.get("via_domains", ()))
+    if not via:
+        raise FederationError(
+            f"gateway {domain.name}: forwarded invocation carries no "
+            f"via-domain trail")
+    from_domain = via[-1]
+    link = federation.link_between(from_domain, domain.name)
+    link.crossings += 1
+    link.account(obj["inv"].get("ctx", {}).get("principal"),
+                 obj["inv"].get("op", "?"))
+
+    # Ingress: map the principal into our namespace and re-issue local
+    # credentials if the mapped principal is enrolled here — the gateway
+    # is the trusted intermediary between the two secret authorities.
+    principal = link.map_principal(ctx_obj.get("principal"))
+    credentials = (domain.authority.credentials_for(principal)
+                   if principal and domain.authority.is_enrolled(principal)
+                   else {})
+
+    context = InvocationContext(
+        principal=principal,
+        credentials=credentials,
+        transaction_id=ctx_obj.get("transaction_id"),
+        origin_domain=ctx_obj.get("origin_domain"),
+        via_domains=via,
+        extra=dict(ctx_obj.get("extra", {})),
+    )
+    invocation = Invocation(
+        interface_id=inv_obj["id"],
+        operation=inv_obj["op"],
+        args=marshaller.unmarshal_args(inv_obj.get("args", [])),
+        kind=(InvocationKind.ANNOUNCEMENT
+              if inv_obj.get("kind") == "announcement"
+              else InvocationKind.INTERROGATION),
+        context=context,
+        epoch=inv_obj.get("epoch", 0),
+    )
+
+    target_domain = federation.domain_of_ref(ref)
+    if target_domain == domain.name:
+        termination = _deliver_locally(domain, nucleus, capsule, ref,
+                                       invocation)
+    else:
+        route = federation.route(domain.name, target_domain)
+        next_hop = route[1]
+        egress = federation.link_between(domain.name, next_hop)
+        egress.check_egress(invocation.context.principal,
+                            invocation.operation)
+        egress.crossings += 1
+        invocation.context.via_domains = via + (domain.name,)
+        termination = forward_to_domain(nucleus, capsule, federation,
+                                        next_hop, ref, invocation)
+    if termination is None:
+        termination = Termination("ok", ())
+    # Context-relative naming on the way out (section 6).
+    return annotate_refs(termination, domain.name, domain.defined_here)
+
+
+def _deliver_locally(domain, nucleus, capsule, ref,
+                     invocation: Invocation) -> Optional[Termination]:
+    """The reference is home: strip its context and invoke via a channel
+    so location repair and group routing still apply."""
+    from repro.transparency.compiler import compile_client_channel
+
+    local_ref = ref.with_context(())
+    fresher = domain.relocator.try_lookup(local_ref.interface_id)
+    if fresher is not None and fresher.epoch >= local_ref.epoch:
+        local_ref = fresher
+    channel = compile_client_channel(nucleus, capsule, local_ref,
+                                     EnvironmentConstraints.DEFAULT)
+    return channel.invoke(invocation.operation, invocation.args,
+                          kind=invocation.kind, qos=invocation.qos,
+                          context=invocation.context)

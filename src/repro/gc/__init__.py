@@ -1,0 +1,23 @@
+"""Distributed garbage collection (paper section 7.3).
+
+"The ODP computational model is based on interfaces to objects being
+accessed via references: this implies that objects must persist for at
+least as long as there are clients holding references to their interfaces.
+This potentially puts a server's resources at the mercy of its clients."
+
+The defences built here are exactly the paper's list:
+
+* explicit close — a closed interface errors on access and is reclaimed,
+* leases — binding grants a time-bounded claim, renewed by use, so dead
+  clients cannot pin objects forever,
+* idle-time collection — "only passive objects need be considered -
+  active ones cannot be garbage by definition": the collector sweeps
+  passivated objects whose leases have all expired,
+* archival demotion — long-unused passive objects move to less accessible
+  storage and "can be moved back on demand".
+"""
+
+from repro.gc.leases import LeaseTable
+from repro.gc.collector import Collector
+
+__all__ = ["LeaseTable", "Collector"]

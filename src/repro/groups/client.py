@@ -1,0 +1,97 @@
+"""The client-side group invocation layer.
+
+Makes a replica group look like a singleton: the layer consults the group
+registry for the current view, routes writes to the sequencer (which
+relays), spreads reads over members when the policy asks for it, and on
+sequencer failure triggers a view change and retries — so the client never
+sees a crash of f < n members.
+"""
+
+from __future__ import annotations
+
+from repro.comp.invocation import Invocation
+from repro.comp.outcomes import Termination
+from repro.engine.layers import ClientLayer
+from repro.engine.remote import invoke_at
+from repro.errors import (
+    CommunicationError,
+    GroupError,
+    MembershipError,
+    NodeUnreachableError,
+)
+from repro.groups.member import ROLE_KEY
+
+
+class GroupInvokeLayer(ClientLayer):
+    """Transparent invocation of a replica group."""
+
+    name = "replication"
+
+    def __init__(self, registry, group_id: str, nucleus, capsule,
+                 max_view_changes: int = 5) -> None:
+        self.registry = registry
+        self.group_id = group_id
+        self.nucleus = nucleus
+        self.capsule = capsule
+        self.max_view_changes = max_view_changes
+        self.invocations = 0
+        self.failovers = 0
+        self.read_spread_reads = 0
+
+    def request(self, invocation: Invocation, next_layer) -> Termination:
+        # The group layer terminates the client stack: it never calls
+        # next_layer, because delivery is per-member via the registry view.
+        self.invocations += 1
+        group = self.registry.group(self.group_id)
+
+        if self._readonly(group, invocation) and \
+                group.spec.policy == "read_spread":
+            return self._read_anywhere(group, invocation)
+
+        attempts = self.max_view_changes + 1
+        for _ in range(attempts):
+            sequencer = group.view.sequencer
+            if sequencer is None:
+                raise GroupError(
+                    f"group {self.group_id} has no live members")
+            try:
+                return invoke_at(
+                    self.nucleus, self.capsule, sequencer.node,
+                    sequencer.capsule_name, sequencer.interface_id,
+                    invocation)
+            except (NodeUnreachableError, MembershipError):
+                self.failovers += 1
+                self.registry.suspect(self.group_id, sequencer)
+        raise GroupError(
+            f"group {self.group_id}: no usable sequencer after "
+            f"{attempts} view changes")
+
+    def _readonly(self, group, invocation: Invocation) -> bool:
+        op = group.signature.operations.get(invocation.operation)
+        return op is not None and op.readonly
+
+    def _read_anywhere(self, group, invocation: Invocation) -> Termination:
+        """Spread read demand over the live members (availability)."""
+        tried = 0
+        live_count = len(group.view.live_members())
+        while tried < max(live_count, 1):
+            member = group.rotate_reader()
+            read = Invocation(
+                interface_id=member.interface_id,
+                operation=invocation.operation,
+                args=invocation.args,
+                kind=invocation.kind,
+                qos=invocation.qos,
+                context=invocation.context.copy(),
+            )
+            read.context.extra[ROLE_KEY] = "read"
+            try:
+                self.read_spread_reads += 1
+                return invoke_at(
+                    self.nucleus, self.capsule, member.node,
+                    member.capsule_name, member.interface_id, read)
+            except (CommunicationError, MembershipError):
+                self.registry.suspect(self.group_id, member)
+                tried += 1
+        raise GroupError(
+            f"group {self.group_id}: no member could serve the read")

@@ -1,0 +1,93 @@
+"""Replica-group data structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.comp.constraints import ReplicationSpec
+from repro.types.signature import InterfaceSignature
+
+
+@dataclass
+class Member:
+    """One replica of the group's service."""
+
+    index: int
+    node: str
+    capsule_name: str
+    interface_id: str
+    #: The member's GroupMemberLayer (set when the member is wired up).
+    layer: Any = None
+    alive: bool = True
+
+    @property
+    def applied_seq(self) -> int:
+        return self.layer.applied_seq if self.layer is not None else -1
+
+
+@dataclass
+class View:
+    """One membership epoch of the group."""
+
+    number: int
+    members: List[Member] = field(default_factory=list)
+    sequencer_index: int = 0
+
+    def live_members(self) -> List[Member]:
+        return [m for m in self.members if m.alive]
+
+    @property
+    def sequencer(self) -> Optional[Member]:
+        live = self.live_members()
+        if not live:
+            return None
+        for member in self.members:
+            if member.index == self.sequencer_index and member.alive:
+                return member
+        return live[0]
+
+
+class ReplicaGroup:
+    """The group: identity, policy, current view and ordering state."""
+
+    def __init__(self, group_id: str, signature: InterfaceSignature,
+                 spec: ReplicationSpec) -> None:
+        self.group_id = group_id
+        self.signature = signature
+        self.spec = spec
+        self.view = View(number=0)
+        self._next_seq = 0
+        self.view_changes = 0
+        self.state_transfers = 0
+        self._read_rotation = 0
+
+    def next_seq(self) -> int:
+        self._next_seq += 1
+        return self._next_seq
+
+    def observe_seq(self, seq: int) -> None:
+        """Keep the counter ahead of any sequence number seen (failover)."""
+        if seq >= self._next_seq:
+            self._next_seq = seq
+
+    def new_view(self, members, sequencer_index: int) -> View:
+        self.view = View(self.view.number + 1, list(members),
+                         sequencer_index)
+        self.view_changes += 1
+        return self.view
+
+    def rotate_reader(self) -> Member:
+        """Round-robin over live members for read-spread policy."""
+        live = self.view.live_members()
+        if not live:
+            raise ValueError(f"group {self.group_id} has no live members")
+        member = live[self._read_rotation % len(live)]
+        self._read_rotation += 1
+        return member
+
+    def __repr__(self) -> str:
+        live = len(self.view.live_members())
+        return (f"ReplicaGroup({self.group_id}, view={self.view.number}, "
+                f"{live}/{len(self.view.members)} live, "
+                f"policy={self.spec.policy})")

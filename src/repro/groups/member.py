@@ -1,0 +1,145 @@
+"""The member-side ordering layer.
+
+Attached to every replica's server stack.  When this member is the
+sequencer, a client invocation is assigned the next sequence number,
+applied locally, then relayed — in order, synchronously — to the other
+live members.  When the invocation arrives as a relay, the layer checks
+the gap discipline (a missed sequence number means this member fell out of
+sync and must leave the view for a state transfer) and applies it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.comp.invocation import Invocation
+from repro.comp.outcomes import Termination
+from repro.engine.layers import ServerLayer
+from repro.engine.remote import invoke_at
+from repro.errors import (
+    CommunicationError,
+    MembershipError,
+    NoQuorumError,
+)
+
+#: context.extra keys used by the group protocol.
+ROLE_KEY = "grole"
+SEQ_KEY = "gseq"
+
+
+class GroupMemberLayer(ServerLayer):
+    """Per-replica total-order enforcement and relay."""
+
+    name = "group-member"
+
+    def __init__(self, registry, group_id: str, member_index: int,
+                 capsule) -> None:
+        self.registry = registry
+        self.group_id = group_id
+        self.member_index = member_index
+        self.capsule = capsule
+        self.applied_seq = 0
+        self.applied_ops = 0
+        self.relayed_ops = 0
+        self.out_of_sync = False
+
+    # -- helpers --------------------------------------------------------------
+
+    @property
+    def group(self):
+        return self.registry.group(self.group_id)
+
+    def _me(self):
+        for member in self.group.view.members:
+            if member.index == self.member_index:
+                return member
+        return None
+
+    def _is_readonly(self, interface, invocation: Invocation) -> bool:
+        op = interface.signature.operations.get(invocation.operation)
+        return op is not None and op.readonly
+
+    # -- the layer ---------------------------------------------------------------
+
+    def handle(self, invocation: Invocation, interface,
+               next_layer) -> Termination:
+        if self.out_of_sync:
+            raise MembershipError(
+                f"member {self.member_index} of {self.group_id} is out of "
+                f"sync and awaiting state transfer")
+        role = invocation.context.extra.get(ROLE_KEY)
+        if role == "apply":
+            return self._apply_relay(invocation, next_layer)
+        if role == "read":
+            self.applied_ops += 1
+            return next_layer(invocation)
+        return self._coordinate(invocation, interface, next_layer)
+
+    def _apply_relay(self, invocation: Invocation,
+                     next_layer) -> Termination:
+        seq = int(invocation.context.extra.get(SEQ_KEY, 0))
+        if seq != self.applied_seq + 1:
+            self.out_of_sync = True
+            raise MembershipError(
+                f"member {self.member_index} expected seq "
+                f"{self.applied_seq + 1}, got {seq}: out of sync")
+        termination = next_layer(invocation)
+        self.applied_seq = seq
+        self.applied_ops += 1
+        return termination
+
+    def _coordinate(self, invocation: Invocation, interface,
+                    next_layer) -> Termination:
+        group = self.group
+        me = self._me()
+        sequencer = group.view.sequencer
+        if me is None or sequencer is None or \
+                sequencer.index != self.member_index:
+            raise MembershipError(
+                f"member {self.member_index} is not the sequencer of "
+                f"{self.group_id} (view {group.view.number})")
+
+        # Reads need not be ordered or relayed: the sequencer's state is
+        # authoritative (writes are applied here first).
+        if self._is_readonly(interface, invocation):
+            self.applied_ops += 1
+            return next_layer(invocation)
+
+        seq = group.next_seq()
+        termination = next_layer(invocation)
+        self.applied_seq = seq
+        self.applied_ops += 1
+
+        acks = 1  # the sequencer itself
+        suspects = []
+        for member in group.view.live_members():
+            if member.index == self.member_index:
+                continue
+            try:
+                self._relay(invocation, member, seq)
+                acks += 1
+            except (CommunicationError, MembershipError):
+                suspects.append(member)
+        for member in suspects:
+            self.registry.suspect(self.group_id, member)
+        if acks < group.spec.reply_quorum:
+            raise NoQuorumError(
+                f"{self.group_id}: only {acks} of "
+                f"{group.spec.reply_quorum} required replicas acknowledged")
+        self.relayed_ops += 1
+        return termination
+
+    def _relay(self, invocation: Invocation, member, seq: int) -> None:
+        relay = Invocation(
+            interface_id=member.interface_id,
+            operation=invocation.operation,
+            args=invocation.args,
+            kind=invocation.kind,
+            qos=invocation.qos,
+            context=invocation.context.copy(),
+            epoch=0,
+        )
+        relay.context.extra[ROLE_KEY] = "apply"
+        relay.context.extra[SEQ_KEY] = seq
+        invoke_at(self.capsule.nucleus, self.capsule, member.node,
+                  member.capsule_name, member.interface_id, relay)

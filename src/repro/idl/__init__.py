@@ -1,0 +1,43 @@
+"""An interface definition language and its tooling.
+
+Section 4.5: "ODP is concerned not just with runtime structures and
+protocols, but also with the tools used to assemble, compile and link
+programs" — and, crucially, "transparency requirements are expressed as
+environment constraints within interface specifications".
+
+This package provides exactly that tooling:
+
+* :func:`parse_idl` — parse interface specifications, *including their
+  environment-constraint clauses*, into
+  (:class:`~repro.types.signature.InterfaceSignature`,
+  :class:`~repro.comp.constraints.EnvironmentConstraints`) pairs;
+* :func:`implements` — a class decorator verifying (structurally) that a
+  Python implementation provides a declared interface;
+* :func:`generate_skeleton` — emit a Python server-skeleton source for a
+  declared interface (the "generated dispatcher" direction).
+
+Example specification::
+
+    interface Account requires concurrency, failure(checkpoint_every=5) {
+        deposit(amount: int) -> (int);
+        withdraw(amount: int) -> (int) | overdrawn(int);
+        readonly balance_of() -> (int);
+        announcement note(message: str);
+    }
+"""
+
+from repro.idl.parser import parse_idl, IdlDocument, IdlError
+from repro.idl.check import implements, check_implements
+from repro.idl.skeleton import generate_skeleton
+from repro.idl.render import render_idl, render_interface
+
+__all__ = [
+    "parse_idl",
+    "IdlDocument",
+    "IdlError",
+    "implements",
+    "check_implements",
+    "generate_skeleton",
+    "render_idl",
+    "render_interface",
+]

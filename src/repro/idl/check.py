@@ -1,0 +1,53 @@
+"""Implementation conformance checking against declared interfaces.
+
+"Early type checking reduces the risks of unpredictable behaviour"
+(section 4.3) — here, at class-definition time: decorating an
+implementation with ``@implements(doc["Account"])`` fails imports (not
+deployments) when the code and the specification drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.comp.model import signature_of
+from repro.errors import TypeCheckError
+from repro.types.conformance import explain_mismatch
+from repro.types.signature import InterfaceSignature
+
+
+def check_implements(cls, declared: InterfaceSignature) -> List[str]:
+    """All reasons *cls* fails to provide *declared* (empty = conforms)."""
+    provided = signature_of(cls)
+    problems = explain_mismatch(provided, declared)
+    # Engineering annotations must agree too: a readonly declaration
+    # drives lock modes, so an implementation that secretly writes under
+    # a readonly operation would break isolation.
+    for name, declared_op in declared.operations.items():
+        provided_op = provided.operations.get(name)
+        if provided_op is None:
+            continue  # already reported by explain_mismatch
+        if declared_op.readonly and not provided_op.readonly:
+            problems.append(
+                f"operation {name!r} is declared readonly but the "
+                f"implementation does not mark it readonly")
+    return problems
+
+
+def implements(declared: InterfaceSignature):
+    """Class decorator: assert the class provides *declared*.
+
+    Raises :class:`~repro.errors.TypeCheckError` at class-definition
+    time listing every mismatch.
+    """
+
+    def decorate(cls):
+        problems = check_implements(cls, declared)
+        if problems:
+            raise TypeCheckError(
+                f"{cls.__name__} does not implement "
+                f"{declared.name!r}: " + "; ".join(problems))
+        cls.__odp_implements__ = declared
+        return cls
+
+    return decorate

@@ -1,0 +1,134 @@
+"""Rendering signatures back to IDL text.
+
+The inverse of the parser: given a signature (and optionally its
+environment constraints), emit the specification document.  This is what
+lets a *running* system publish its interfaces in the interchange form —
+the self-describing-system story (section 6) applied to the tooling: a
+trader's type repository can be exported as an IDL document any other
+organisation's tools can consume.
+
+``parse_idl(render_idl(...))`` reconstructs the same signatures (checked
+by property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.comp.constraints import EnvironmentConstraints
+from repro.types.signature import InterfaceSignature, OperationSig
+from repro.types.terms import (
+    RecordType,
+    RefType,
+    SeqType,
+    TypeTerm,
+)
+
+
+def _render_type(term: TypeTerm, ref_names: Dict[int, str]) -> str:
+    label = term.label
+    if label in ("int", "float", "str", "bool", "bytes", "any", "void"):
+        return label
+    if isinstance(term, SeqType):
+        return f"seq<{_render_type(term.element, ref_names)}>"
+    if isinstance(term, RecordType):
+        inner = ", ".join(f"{name}: {_render_type(t, ref_names)}"
+                          for name, t in term.fields)
+        return "record{" + inner + "}"
+    if isinstance(term, RefType):
+        name = ref_names.get(id(term.signature))
+        if name is None:
+            raise ValueError(
+                "ref type targets an interface not in this document; "
+                "render the target interface first")
+        return f"ref<{name}>"
+    raise ValueError(f"cannot render type term {term!r}")
+
+
+def _render_operation(op: OperationSig,
+                      ref_names: Dict[int, str]) -> str:
+    qualifiers = ""
+    if op.readonly:
+        qualifiers += "readonly "
+    if op.announcement:
+        qualifiers += "announcement "
+    params = ", ".join(
+        f"arg{i}: {_render_type(p, ref_names)}"
+        for i, p in enumerate(op.params))
+    text = f"    {qualifiers}{op.name}({params})"
+    if not op.announcement:
+        groups = []
+        for term in op.terminations:
+            results = ", ".join(_render_type(r, ref_names)
+                                for r in term.results)
+            if term.name == "ok":
+                groups.insert(0, f"({results})")
+            else:
+                groups.append(f"{term.name}({results})")
+        text += " -> " + " | ".join(groups)
+    return text + ";"
+
+
+def _render_requirements(constraints: EnvironmentConstraints) -> str:
+    clauses: List[str] = []
+    if constraints.concurrency:
+        clauses.append("concurrency")
+    if constraints.migration:
+        clauses.append("migration")
+    if constraints.resource:
+        clauses.append("resource")
+    if constraints.failure is not None:
+        spec = constraints.failure
+        inner = f"checkpoint_every={spec.checkpoint_every}"
+        if spec.recovery_node:
+            inner += f", recovery_node='{spec.recovery_node}'"
+        clauses.append(f"failure({inner})")
+    if constraints.security is not None:
+        spec = constraints.security
+        clauses.append(
+            f"security(policy='{spec.policy}', "
+            f"require_authentication="
+            f"{'true' if spec.require_authentication else 'false'}, "
+            f"audit={'true' if spec.audit else 'false'})")
+    if constraints.replication is not None:
+        spec = constraints.replication
+        clauses.append(
+            f"replication(replicas={spec.replicas}, "
+            f"policy='{spec.policy}', reply_quorum={spec.reply_quorum})")
+    if not constraints.allow_local_shortcut:
+        clauses.append("no_local_shortcut")
+    if not clauses:
+        return ""
+    return " requires " + ", ".join(clauses)
+
+
+def render_idl(interfaces: Iterable[Tuple[str, InterfaceSignature,
+                                          Optional[EnvironmentConstraints]]]
+               ) -> str:
+    """Render (name, signature, constraints) triples as one document.
+
+    Interfaces referenced by ``ref<>`` types must appear earlier in the
+    iterable than their users (the parser's declaration-order rule).
+    Constraints of ``None`` render no requires-clause.
+    """
+    ref_names: Dict[int, str] = {}
+    blocks: List[str] = []
+    for name, signature, constraints in interfaces:
+        header = f"interface {name}"
+        if constraints is not None:
+            header += _render_requirements(constraints)
+        lines = [header + " {"]
+        for op_name in signature.operation_names():
+            lines.append(_render_operation(signature.operations[op_name],
+                                           ref_names))
+        lines.append("}")
+        blocks.append("\n".join(lines))
+        ref_names[id(signature)] = name
+    return "\n\n".join(blocks) + "\n"
+
+
+def render_interface(name: str, signature: InterfaceSignature,
+                     constraints: Optional[EnvironmentConstraints] = None
+                     ) -> str:
+    """Convenience: render a single interface."""
+    return render_idl([(name, signature, constraints)])

@@ -1,0 +1,102 @@
+"""Server-skeleton generation.
+
+The code-generation direction of the paper's tooling story: "from a
+description of the signatures of the operations in an interface, a
+compiler can automatically generate code" (section 5.1).  The skeleton
+is a ready-to-fill Python class whose ``@operation`` declarations match
+the specification exactly, so the generated class passes
+:func:`~repro.idl.check.check_implements` as soon as its bodies are
+written.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.types.signature import InterfaceSignature, OperationSig
+from repro.types.terms import (
+    RecordType,
+    RefType,
+    SeqType,
+    TypeTerm,
+)
+
+_PRIMITIVE_SPECS = {"int": "int", "float": "float", "str": "str",
+                    "bool": "bool", "bytes": "bytes", "any": "'any'",
+                    "void": "None"}
+
+
+def _term_spec(term: TypeTerm) -> str:
+    """Render a type term as the @operation spec expression."""
+    if term.label in _PRIMITIVE_SPECS:
+        return _PRIMITIVE_SPECS[term.label]
+    if isinstance(term, SeqType):
+        return f"[{_term_spec(term.element)}]"
+    if isinstance(term, RecordType):
+        inner = ", ".join(f"{name!r}: {_term_spec(t)}"
+                          for name, t in term.fields)
+        return "{" + inner + "}"
+    if isinstance(term, RefType):
+        # Skeletons cannot inline a whole signature; accept any ref and
+        # leave a note for the implementer.
+        return "'any'"
+    raise ValueError(f"cannot render type term {term!r}")
+
+
+def _operation_decorator(op: OperationSig) -> List[str]:
+    pieces = []
+    if op.params:
+        pieces.append(
+            "params=[" + ", ".join(_term_spec(p) for p in op.params) + "]")
+    ok = op.termination("ok")
+    if ok.results:
+        pieces.append(
+            "returns=[" + ", ".join(_term_spec(r) for r in ok.results)
+            + "]")
+    errors = {t.name: t.results for t in op.terminations
+              if t.name != "ok"}
+    if errors:
+        inner = ", ".join(
+            f"{name!r}: [" + ", ".join(_term_spec(r) for r in results)
+            + "]"
+            for name, results in errors.items())
+        pieces.append("errors={" + inner + "}")
+    if op.announcement:
+        pieces.append("announcement=True")
+    if op.readonly:
+        pieces.append("readonly=True")
+    return pieces
+
+
+def generate_skeleton(signature: InterfaceSignature,
+                      class_name: str = "") -> str:
+    """Emit Python source for a server skeleton of *signature*."""
+    class_name = class_name or f"{signature.name}Skeleton"
+    lines = [
+        f'"""Generated server skeleton for interface '
+        f'{signature.name!r}."""',
+        "",
+        "from repro import OdpObject, Signal, operation",
+        "",
+        "",
+        f"class {class_name}(OdpObject):",
+        f'    """Fill in the operation bodies; the declarations already',
+        f'    conform to the specification."""',
+        "",
+    ]
+    for name in signature.operation_names():
+        op = signature.operations[name]
+        decorator_args = ", ".join(_operation_decorator(op))
+        arg_names = [f"arg{i}" for i in range(len(op.params))]
+        params = ", ".join(["self"] + arg_names)
+        lines.append(f"    @operation({decorator_args})")
+        lines.append(f"    def {name}({params}):")
+        non_ok = [t.name for t in op.terminations if t.name != "ok"]
+        if non_ok:
+            lines.append(f"        # may raise Signal"
+                         f"({non_ok[0]!r}, ...) "
+                         + (f"or {non_ok[1:]}" if len(non_ok) > 1 else ""))
+        lines.append("        raise NotImplementedError"
+                     f"({name!r})")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Reconciling conflicting federated copies.
+
+Version-vector comparison classifies two copies as equal, dominated or
+*concurrent*; concurrent copies are genuine conflicts that need policy:
+
+* ``"lww"`` — deterministic last-writer-wins (total update count, ties
+  broken by domain name),
+* ``"merge"`` — field-wise merge via a caller-supplied function,
+* any callable ``(a, b) -> EntityRecord``.
+
+Reconciled records carry the element-wise maximum of both vectors, so a
+reconciliation is itself ordered after both inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Union
+
+from repro.info.store import EntityRecord, InfoStore
+
+
+def compare_vectors(a: Dict[str, int], b: Dict[str, int]) -> str:
+    """Returns "equal", "a_dominates", "b_dominates" or "concurrent"."""
+    domains = set(a) | set(b)
+    a_ahead = any(a.get(d, 0) > b.get(d, 0) for d in domains)
+    b_ahead = any(b.get(d, 0) > a.get(d, 0) for d in domains)
+    if a_ahead and b_ahead:
+        return "concurrent"
+    if a_ahead:
+        return "a_dominates"
+    if b_ahead:
+        return "b_dominates"
+    return "equal"
+
+
+def merged_vector(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+    return {d: max(a.get(d, 0), b.get(d, 0)) for d in set(a) | set(b)}
+
+
+@dataclass
+class Conflict:
+    """Two concurrent copies of one entity."""
+
+    entity_id: str
+    left_store: str
+    right_store: str
+    left: EntityRecord
+    right: EntityRecord
+
+
+def detect_conflicts(stores: Sequence[InfoStore]) -> List[Conflict]:
+    """All pairwise concurrent copies across the given stores."""
+    conflicts: List[Conflict] = []
+    for i, left_store in enumerate(stores):
+        for right_store in stores[i + 1:]:
+            shared = (set(left_store.entity_ids())
+                      & set(right_store.entity_ids()))
+            for entity_id in sorted(shared):
+                left = left_store.get(entity_id)
+                right = right_store.get(entity_id)
+                if compare_vectors(left.vector,
+                                   right.vector) == "concurrent":
+                    conflicts.append(Conflict(
+                        entity_id, left_store.domain_name,
+                        right_store.domain_name, left, right))
+    return conflicts
+
+
+def _lww(a: EntityRecord, b: EntityRecord) -> EntityRecord:
+    a_total = sum(a.vector.values())
+    b_total = sum(b.vector.values())
+    if a_total != b_total:
+        winner = a if a_total > b_total else b
+    else:
+        # Deterministic tiebreak so every party converges identically.
+        winner = a if min(a.vector) <= min(b.vector) else b
+    resolved = winner.clone()
+    resolved.vector = merged_vector(a.vector, b.vector)
+    return resolved
+
+
+def _make_merge(merge_fields: Callable) -> Callable:
+    def merge(a: EntityRecord, b: EntityRecord) -> EntityRecord:
+        resolved = a.clone()
+        resolved.values = merge_fields(a.values, b.values)
+        resolved.vector = merged_vector(a.vector, b.vector)
+        return resolved
+    return merge
+
+
+def reconcile_stores(stores: Sequence[InfoStore],
+                     policy: Union[str, Callable] = "lww",
+                     merge_fields: Callable = None) -> int:
+    """Drive all stores to identical, conflict-free copies.
+
+    Returns the number of conflicts resolved.  Dominated copies are simply
+    overwritten by dominating ones; concurrent copies go through the
+    policy.  The procedure iterates to a fixed point (the reconciled
+    record dominates both inputs, so one extra round always converges).
+    """
+    if policy == "lww":
+        resolver = _lww
+    elif policy == "merge":
+        if merge_fields is None:
+            raise ValueError("merge policy needs merge_fields")
+        resolver = _make_merge(merge_fields)
+    elif callable(policy):
+        resolver = policy
+    else:
+        raise ValueError(f"unknown reconciliation policy {policy!r}")
+
+    resolved_count = 0
+    changed = True
+    while changed:
+        changed = False
+        for i, left_store in enumerate(stores):
+            for right_store in list(stores)[i + 1:]:
+                shared = (set(left_store.entity_ids())
+                          & set(right_store.entity_ids()))
+                for entity_id in sorted(shared):
+                    left = left_store.get(entity_id)
+                    right = right_store.get(entity_id)
+                    verdict = compare_vectors(left.vector, right.vector)
+                    if verdict == "equal":
+                        continue
+                    if verdict == "a_dominates":
+                        right_store.accept(left)
+                    elif verdict == "b_dominates":
+                        left_store.accept(right)
+                    else:
+                        resolved = resolver(left, right)
+                        left_store.accept(resolved)
+                        right_store.accept(resolved)
+                        resolved_count += 1
+                    changed = True
+                # Spread entities only one side has.
+                for entity_id in sorted(
+                        set(left_store.entity_ids())
+                        - set(right_store.entity_ids())):
+                    right_store.accept(left_store.get(entity_id))
+                    changed = True
+                for entity_id in sorted(
+                        set(right_store.entity_ids())
+                        - set(left_store.entity_ids())):
+                    left_store.accept(right_store.get(entity_id))
+                    changed = True
+    return resolved_count

@@ -1,0 +1,129 @@
+"""Load balancing through migration transparency.
+
+Section 3 lists "migration of programs or data to balance loads and
+reduce access times" among the details transparency should simplify, and
+section 5.4 names load balancing as a reason interfaces move.  The
+balancer is a management-plane consumer of the platform's own
+mechanisms: it reads per-interface service counts, decides which movable
+objects should live elsewhere, and uses the ordinary migrator — clients
+repair through location transparency, none the wiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MigrationError
+
+
+@dataclass
+class BalanceMove:
+    """One executed rebalancing migration."""
+
+    interface_id: str
+    from_node: str
+    to_node: str
+    load_share: float
+
+
+class LoadBalancer:
+    """Periodically evens interface load across a domain's nodes.
+
+    Load is measured as invocations served since the previous pass
+    (a rate, not a lifetime total).  A pass moves at most
+    ``max_moves_per_pass`` interfaces, hottest first, from the most
+    loaded node to the least loaded — bounded rebalancing rather than
+    oscillation.  Objects may veto (``odp_ready_to_move``); the balancer
+    respects that and moves on.
+    """
+
+    def __init__(self, domain, target_capsule_name: str = "services",
+                 imbalance_threshold: float = 2.0,
+                 max_moves_per_pass: int = 1) -> None:
+        if imbalance_threshold <= 1.0:
+            raise ValueError("threshold must exceed 1.0")
+        self.domain = domain
+        self.target_capsule_name = target_capsule_name
+        self.imbalance_threshold = imbalance_threshold
+        self.max_moves_per_pass = max_moves_per_pass
+        self.moves: List[BalanceMove] = []
+        self._served_at_last_pass: Dict[str, int] = {}
+        self._event = None
+
+    # -- measurement --------------------------------------------------------------
+
+    def _node_loads(self) -> Dict[str, List[Tuple[int, str, object]]]:
+        """node -> [(recent_served, interface_id, capsule)] movables."""
+        loads: Dict[str, List[Tuple[int, str, object]]] = {}
+        faults = self.domain.network.faults
+        for address, nucleus in self.domain.nuclei.items():
+            if faults.is_crashed(address):
+                continue
+            capsule = nucleus.capsules.get(self.target_capsule_name)
+            if capsule is None:
+                # Only nodes participating in this service tier are
+                # balancing targets; client nodes stay out of it.
+                continue
+            loads[address] = []
+            for interface in capsule.interfaces.values():
+                previous = self._served_at_last_pass.get(
+                    interface.interface_id, 0)
+                recent = interface.invocations_served - previous
+                loads[address].append(
+                    (recent, interface.interface_id, capsule))
+        return loads
+
+    def _snapshot_counters(self) -> None:
+        for nucleus in self.domain.nuclei.values():
+            for capsule in nucleus.capsules.values():
+                for interface in capsule.interfaces.values():
+                    self._served_at_last_pass[interface.interface_id] = \
+                        interface.invocations_served
+
+    # -- the balancing pass ---------------------------------------------------------
+
+    def rebalance(self) -> List[BalanceMove]:
+        """One pass; returns the moves it made."""
+        loads = self._node_loads()
+        if len(loads) < 2:
+            self._snapshot_counters()
+            return []
+        totals = {node: sum(count for count, _, _ in interfaces)
+                  for node, interfaces in loads.items()}
+        busiest = max(totals, key=lambda n: totals[n])
+        calmest = min(totals, key=lambda n: totals[n])
+        made: List[BalanceMove] = []
+        if totals[busiest] > self.imbalance_threshold * \
+                max(1, totals[calmest]):
+            target = self.domain.nuclei[calmest].capsules[
+                self.target_capsule_name]
+            candidates = sorted(loads[busiest], reverse=True)
+            total_busy = max(1, totals[busiest])
+            for recent, interface_id, capsule in candidates:
+                if len(made) >= self.max_moves_per_pass:
+                    break
+                if recent == 0:
+                    break  # idle objects do not help balance
+                try:
+                    self.domain.migrator.migrate(capsule, interface_id,
+                                                 target)
+                except MigrationError:
+                    continue  # vetoed or otherwise unmovable
+                move = BalanceMove(interface_id, busiest, calmest,
+                                   recent / total_busy)
+                made.append(move)
+                self.moves.append(move)
+        self._snapshot_counters()
+        return made
+
+    # -- scheduling -------------------------------------------------------------------
+
+    def start(self, interval_ms: float = 1_000.0) -> None:
+        self._event = self.domain.scheduler.every(
+            interval_ms, self.rebalance, label="load-balance")
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None

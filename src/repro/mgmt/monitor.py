@@ -1,0 +1,134 @@
+"""Transparency monitoring.
+
+Collects the counters every mechanism layer already maintains into one
+management snapshot — "identification of points where network and system
+management information can contribute to the provision of transparency"
+(section 7.4).  Pure read-side: it never perturbs the mechanisms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class TransparencyMonitor:
+    """Domain-wide snapshot of transparency-mechanism activity."""
+
+    def __init__(self, domain) -> None:
+        self.domain = domain
+
+    def interface_report(self) -> Dict[str, Dict[str, Any]]:
+        """Per-interface mechanism counters across all capsules."""
+        report: Dict[str, Dict[str, Any]] = {}
+        for nucleus in self.domain.nuclei.values():
+            for capsule in nucleus.capsules.values():
+                for interface in capsule.interfaces.values():
+                    entry: Dict[str, Any] = {
+                        "node": nucleus.node_address,
+                        "capsule": capsule.name,
+                        "state": interface.state.value,
+                        "epoch": interface.epoch,
+                        "served": interface.invocations_served,
+                        "layers": [
+                            layer.name for layer in
+                            interface.annotations.get("server_layers", [])
+                        ],
+                    }
+                    guard = interface.annotations.get("guard_layer")
+                    if guard is not None:
+                        entry["guard"] = {"allowed": guard.allowed,
+                                          "denied": guard.denied}
+                    concurrency = interface.annotations.get(
+                        "concurrency_layer")
+                    if concurrency is not None:
+                        entry["concurrency"] = {
+                            "transactional": concurrency.transactional_ops,
+                            "autocommit": concurrency.autocommit_ops,
+                            "deadlocks": concurrency.deadlocks,
+                            "busy": concurrency.busy_rejections,
+                        }
+                    checkpoint = interface.annotations.get(
+                        "checkpoint_layer")
+                    if checkpoint is not None:
+                        entry["failure"] = {
+                            "checkpoints": checkpoint.checkpoints_taken,
+                            "logged": checkpoint.entries_logged,
+                        }
+                    report[interface.interface_id] = entry
+        return report
+
+    def domain_report(self) -> Dict[str, Any]:
+        """Domain-service counters: relocation, trading, tx, security..."""
+        domain = self.domain
+        report: Dict[str, Any] = {"domain": domain.name}
+        if domain._relocator is not None:
+            relocator = domain.relocator
+            report["relocation"] = {
+                "known": relocator.known(),
+                "registrations": relocator.registrations,
+                "updates": relocator.updates,
+                "lookups": relocator.lookups,
+                "misses": relocator.misses,
+            }
+        if domain._tx_manager is not None:
+            manager = domain.tx_manager
+            report["transactions"] = {
+                "begun": manager.begun,
+                "committed": manager.committed,
+                "aborted": manager.aborted,
+                "control_messages": manager.control_messages,
+            }
+        if domain._trader is not None:
+            trader = domain.trader
+            report["trading"] = {
+                "offers": trader.offer_count(),
+                "exports": trader.exports,
+                "imports": trader.imports,
+                "link_traversals": trader.link_traversals,
+            }
+        if domain._authority is not None:
+            authority = domain.authority
+            report["security"] = {
+                "verifications": authority.verifications,
+                "rejections": authority.rejections,
+                "audit_records": len(domain.audit),
+            }
+        if domain._migrator is not None:
+            report["migration"] = {
+                "migrations": domain.migrator.migrations,
+                "refusals": domain.migrator.refusals,
+            }
+        if domain._recovery is not None:
+            report["recovery"] = {
+                "recoveries": domain.recovery.recoveries,
+                "replayed": domain.recovery.replayed_entries,
+            }
+        if domain._collector is not None:
+            collector = domain.collector
+            report["gc"] = {
+                "sweeps": collector.sweeps,
+                "collected": collector.total_collected,
+                "lease_grants": collector.leases.grants,
+                "lease_renewals": collector.leases.renewals,
+            }
+        if domain._groups is not None:
+            report["groups"] = {
+                "suspicions": domain.groups.suspicions,
+            }
+        return report
+
+    def network_report(self) -> Dict[str, Any]:
+        network = self.domain.network
+        return {
+            "messages": network.total_messages,
+            "bytes": network.total_bytes,
+            "drops": network.faults.drops,
+            "per_node": {
+                node.address: {
+                    "sent": node.stats.messages_sent,
+                    "received": node.stats.messages_received,
+                }
+                for node in network.nodes()
+                if self.domain.owns_node(node.address)
+            },
+        }

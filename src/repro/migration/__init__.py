@@ -1,0 +1,13 @@
+"""Migration transparency (paper section 5.5).
+
+"An object has to take the responsibility for moving itself and its
+interfaces ... It also allows the object to delay the migration until a
+time convenient to other activities using the object."  The migrator asks
+the object (``odp_ready_to_move``), snapshots it in its own compact form
+(``odp_snapshot``), reinstates it at the destination, leaves a forwarding
+stub behind, and registers the change of location.
+"""
+
+from repro.migration.migrator import Migrator
+
+__all__ = ["Migrator"]

@@ -1,0 +1,84 @@
+"""Fault injection plan.
+
+Section 4.1: "catastrophic failures may occur which cannot be masked ...
+a computer may fail for an extended period; a critical network link may be
+broken".  The fault plan is the single place where crashes, partitions and
+probabilistic message loss are declared, so experiments can script failure
+scenarios explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+
+class FaultPlan:
+    """Mutable fault state consulted by the network on every transmit."""
+
+    def __init__(self, drop_probability: float = 0.0) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        self.drop_probability = drop_probability
+        self._crashed: Set[str] = set()
+        self._cut_links: Set[Tuple[str, str]] = set()
+        self._partition_of: Dict[str, int] = {}
+        self.drops = 0
+
+    # -- node crash / restart ------------------------------------------------
+
+    def crash_node(self, node: str) -> None:
+        self._crashed.add(node)
+
+    def restart_node(self, node: str) -> None:
+        self._crashed.discard(node)
+
+    def is_crashed(self, node: str) -> bool:
+        return node in self._crashed
+
+    @property
+    def crashed_nodes(self) -> Set[str]:
+        return set(self._crashed)
+
+    # -- link cuts -----------------------------------------------------------
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def cut_link(self, a: str, b: str) -> None:
+        self._cut_links.add(self._key(a, b))
+
+    def heal_link(self, a: str, b: str) -> None:
+        self._cut_links.discard(self._key(a, b))
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, *groups) -> None:
+        """Split nodes into disjoint groups that cannot reach each other.
+
+        ``partition(["a", "b"], ["c"])`` isolates c from a and b.  Nodes not
+        mentioned remain reachable from everyone.
+        """
+        self._partition_of.clear()
+        for index, group in enumerate(groups):
+            for node in group:
+                if node in self._partition_of:
+                    raise ValueError(f"node {node} in two partition groups")
+                self._partition_of[node] = index
+
+    def heal_partition(self) -> None:
+        self._partition_of.clear()
+
+    # -- the verdict ---------------------------------------------------------
+
+    def link_blocked(self, source: str, destination: str) -> bool:
+        """True when no message can currently pass source -> destination."""
+        if source in self._crashed or destination in self._crashed:
+            return True
+        if self._key(source, destination) in self._cut_links:
+            return True
+        side_a = self._partition_of.get(source)
+        side_b = self._partition_of.get(destination)
+        if side_a is not None and side_b is not None and side_a != side_b:
+            return True
+        return False

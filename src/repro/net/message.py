@@ -1,0 +1,33 @@
+"""Network message envelope.
+
+Payloads are opaque ``bytes`` — the engineering layer above is responsible
+for marshalling (access transparency).  Keeping the network byte-oriented is
+what forces genuine heterogeneity handling: two nodes with different native
+wire formats really cannot exchange structured data without translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class NetMessage:
+    """One datagram in flight between two nodes."""
+
+    source: str
+    destination: str
+    payload: bytes
+    kind: str = "data"            # "data" | "control" | "stream"
+    headers: Dict[str, str] = field(default_factory=dict)
+    sent_at: float = 0.0
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes (drives serialisation/transit cost)."""
+        return len(self.payload)
+
+    def __repr__(self) -> str:
+        return (f"NetMessage({self.source}->{self.destination}, "
+                f"{self.kind}, {self.size}B)")

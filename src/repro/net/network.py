@@ -1,0 +1,211 @@
+"""The network fabric.
+
+Two delivery primitives are offered:
+
+* :meth:`Network.request` — synchronous request/response used by the RPC
+  protocol adapters.  It charges a full round trip (plus server processing
+  time reported by the handler) to the virtual clock and raises on crash,
+  partition or probabilistic loss.
+* :meth:`Network.post` — asynchronous one-way delivery through the event
+  scheduler, used for announcements, group multicast, heartbeats and stream
+  frames.  Lost messages vanish silently, exactly as on a real network.
+
+Both consult the :class:`~repro.net.fault.FaultPlan` on every leg, so a
+partition that forms while a message is in flight still prevents delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import MessageLostError, NodeUnreachableError
+from repro.net.fault import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.net.message import NetMessage
+from repro.sim.rand import DeterministicRandom
+from repro.sim.scheduler import Scheduler
+
+RequestHandler = Callable[[str, bytes], bytes]
+DeliveryHandler = Callable[[NetMessage], None]
+
+
+@dataclass
+class NodeStats:
+    """Per-node traffic counters."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class NetworkNode:
+    """A host on the simulated network.
+
+    ``native_format`` names the node's local data representation (the
+    heterogeneity the paper requires federation/access transparency to
+    bridge).  Handlers are registered by the engineering layer.
+    """
+
+    def __init__(self, address: str, native_format: str = "packed") -> None:
+        self.address = address
+        self.native_format = native_format
+        self.request_handler: Optional[RequestHandler] = None
+        self.delivery_handlers: Dict[str, DeliveryHandler] = {}
+        #: Protocols this node's endpoints speak.  "rrp" (the standard
+        #: request-reply protocol) is always available; others are
+        #: enabled per node and may have different latency profiles —
+        #: section 5.4's "several protocols by which an interface can be
+        #: accessed ... different qualities of service".
+        self.protocols = {"rrp"}
+        self.stats = NodeStats()
+
+    def enable_protocol(self, name: str) -> None:
+        self.protocols.add(name)
+
+    def on_request(self, handler: RequestHandler) -> None:
+        self.request_handler = handler
+
+    def on_deliver(self, kind: str, handler: DeliveryHandler) -> None:
+        self.delivery_handlers[kind] = handler
+
+    def __repr__(self) -> str:
+        return f"NetworkNode({self.address}, fmt={self.native_format})"
+
+
+class Network:
+    """Registry of nodes plus the two delivery primitives."""
+
+    def __init__(self, scheduler: Scheduler,
+                 latency: Optional[LatencyModel] = None,
+                 faults: Optional[FaultPlan] = None,
+                 rng: Optional[DeterministicRandom] = None) -> None:
+        self.scheduler = scheduler
+        self.latency = latency if latency is not None else LatencyModel()
+        self.faults = faults if faults is not None else FaultPlan()
+        self.rng = rng if rng is not None else DeterministicRandom(0)
+        self._nodes: Dict[str, NetworkNode] = {}
+        #: Per-protocol latency models; protocols not listed use the
+        #: default model.
+        self.protocol_latency: Dict[str, LatencyModel] = {}
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    def register_protocol(self, name: str,
+                          latency: LatencyModel) -> None:
+        """Give a protocol its own latency/bandwidth profile."""
+        self.protocol_latency[name] = latency
+
+    def _latency_for(self, protocol: str) -> LatencyModel:
+        return self.protocol_latency.get(protocol, self.latency)
+
+    # -- topology --------------------------------------------------------
+
+    def add_node(self, address: str,
+                 native_format: str = "packed") -> NetworkNode:
+        if address in self._nodes:
+            raise ValueError(f"duplicate node address {address!r}")
+        node = NetworkNode(address, native_format)
+        self._nodes[address] = node
+        return node
+
+    def node(self, address: str) -> NetworkNode:
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise NodeUnreachableError(f"unknown node {address!r}") from None
+
+    def nodes(self):
+        return list(self._nodes.values())
+
+    def has_node(self, address: str) -> bool:
+        return address in self._nodes
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_leg(self, source: str, destination: str) -> None:
+        if self.faults.link_blocked(source, destination):
+            raise NodeUnreachableError(
+                f"{source} cannot reach {destination} "
+                f"(crash, cut link or partition)")
+        if self.faults.drop_probability and self.rng.chance(
+                self.faults.drop_probability):
+            self.faults.drops += 1
+            raise MessageLostError(
+                f"message {source}->{destination} lost in transit")
+
+    def _account(self, source: str, destination: str, size: int) -> None:
+        self.total_messages += 1
+        self.total_bytes += size
+        src = self._nodes.get(source)
+        dst = self._nodes.get(destination)
+        if src is not None:
+            src.stats.messages_sent += 1
+            src.stats.bytes_sent += size
+        if dst is not None:
+            dst.stats.messages_received += 1
+            dst.stats.bytes_received += size
+
+    # -- synchronous request/response ---------------------------------------
+
+    def request(self, source: str, destination: str, payload: bytes,
+                protocol: str = "rrp") -> bytes:
+        """Round-trip exchange.  Raises on unreachable nodes or lost legs."""
+        dst = self.node(destination)
+        if dst.request_handler is None:
+            raise NodeUnreachableError(
+                f"node {destination} has no request handler")
+        latency = self._latency_for(protocol)
+
+        # Outbound leg.
+        self._check_leg(source, destination)
+        self._account(source, destination, len(payload))
+        self.scheduler.clock.advance(
+            latency.delay(source, destination, len(payload), self.rng))
+
+        reply = dst.request_handler(source, payload)
+
+        # Return leg (faults may have arisen while the server worked).
+        self._check_leg(destination, source)
+        self._account(destination, source, len(reply))
+        self.scheduler.clock.advance(
+            latency.delay(destination, source, len(reply), self.rng))
+        return reply
+
+    # -- asynchronous one-way delivery ---------------------------------------
+
+    def post(self, source: str, destination: str, payload: bytes,
+             kind: str = "data",
+             headers: Optional[Dict[str, str]] = None) -> None:
+        """Fire-and-forget delivery via the scheduler.
+
+        Loss and crash of the *source* are evaluated at send time; crash or
+        partition affecting the *destination* is re-evaluated at delivery
+        time, so in-flight messages to a node that dies are dropped.
+        """
+        if self.faults.is_crashed(source):
+            return  # a dead node sends nothing
+        if self.faults.drop_probability and self.rng.chance(
+                self.faults.drop_probability):
+            self.faults.drops += 1
+            return
+        message = NetMessage(source, destination, payload, kind,
+                             dict(headers or {}), self.scheduler.now)
+        delay = self.latency.delay(source, destination, len(payload),
+                                   self.rng)
+        self.scheduler.after(delay, lambda: self._deliver(message),
+                             label=f"net:{source}->{destination}:{kind}")
+
+    def _deliver(self, message: NetMessage) -> None:
+        if self.faults.link_blocked(message.source, message.destination):
+            self.faults.drops += 1
+            return
+        node = self._nodes.get(message.destination)
+        if node is None:
+            return
+        handler = node.delivery_handlers.get(message.kind)
+        if handler is None:
+            return
+        self._account(message.source, message.destination, message.size)
+        handler(message)

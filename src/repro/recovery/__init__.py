@@ -1,0 +1,14 @@
+"""Failure transparency (paper section 5.5).
+
+"The snapshot must be associated with a log of outstanding interactions,
+so that when recovery occurs, the replacement object can mirror exactly
+the state of its predecessor."  The checkpoint layer writes periodic
+snapshots plus a per-invocation interaction log to stable storage; the
+recovery manager reinstates the object at an alternate location by
+restoring the last checkpoint and replaying the log.
+"""
+
+from repro.recovery.checkpoint import CheckpointLayer
+from repro.recovery.recover import RecoveryManager
+
+__all__ = ["CheckpointLayer", "RecoveryManager"]

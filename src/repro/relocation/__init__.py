@@ -1,0 +1,14 @@
+"""Location transparency (paper section 5.4).
+
+A reference must stay usable "without requiring a client to know or track
+the location of a service".  The relocation service records *changes* of
+location only ("the majority of interfaces in a system can be expected to
+be temporary and stationary"), and the client-side relocation layer repairs
+stale bindings transparently — first from forwarding hints, then by asking
+the relocator.
+"""
+
+from repro.relocation.relocator import Relocator
+from repro.relocation.layer import RelocationLayer
+
+__all__ = ["Relocator", "RelocationLayer"]

@@ -1,0 +1,35 @@
+"""Virtual time.
+
+All latencies in the platform are expressed in virtual milliseconds.  The
+clock only moves when the scheduler runs an event or when a synchronous
+message transit charges time to it.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically increasing virtual clock (milliseconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by *delta* ms and return the new time."""
+        if delta < 0:
+            raise ValueError(f"clock cannot run backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to *when* (no-op if already past it)."""
+        if when > self._now:
+            self._now = when
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.3f})"

@@ -1,0 +1,126 @@
+"""Discrete-event scheduler.
+
+Asynchronous platform behaviour — announcements, group multicast delivery,
+heartbeats, lease expiry, GC sweeps — is expressed as events on this queue.
+``run_until_idle`` drains the queue (advancing the virtual clock to each
+event's due time), which is how tests and benchmarks let in-flight protocol
+activity settle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.clock import VirtualClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, sequence) for determinism."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Scheduler:
+    """An event queue bound to a :class:`VirtualClock`."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self.events_run = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def at(self, when: float, action: Callable[[], None],
+           label: str = "") -> Event:
+        """Schedule *action* at absolute virtual time *when*."""
+        if when < self.clock.now:
+            when = self.clock.now
+        event = Event(when, next(self._seq), action, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, action: Callable[[], None],
+              label: str = "") -> Event:
+        """Schedule *action* after *delay* ms of virtual time."""
+        return self.at(self.clock.now + max(0.0, delay), action, label)
+
+    def every(self, interval: float, action: Callable[[], None],
+              label: str = "") -> Event:
+        """Schedule a repeating action.  Cancel the returned event to stop.
+
+        The returned event object stays valid across firings: cancellation
+        is checked before each repetition.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        handle = Event(self.clock.now + interval, next(self._seq),
+                       lambda: None, label)
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            action()
+            if not handle.cancelled:
+                self.after(interval, fire, label)
+
+        handle.action = fire
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self.events_run += 1
+            event.action()
+            return True
+        return False
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue.  Returns the number of events run."""
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise RuntimeError(
+                    f"scheduler did not go idle within {max_events} events; "
+                    f"possible event loop")
+        return count
+
+    def run_until(self, deadline: float, max_events: int = 1_000_000) -> int:
+        """Run events with time <= deadline, then set the clock there."""
+        count = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if event.time > deadline:
+                break
+            self.step()
+            count += 1
+            if count > max_events:
+                raise RuntimeError("run_until exceeded max_events")
+        self.clock.advance_to(deadline)
+        return count

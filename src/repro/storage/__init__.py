@@ -1,0 +1,12 @@
+"""Stable storage and resource transparency (paper section 5.5).
+
+"Objects that are not actively in use may be transferred from the
+execution environment to storage ... This passive location can be advised
+to the relocation mechanisms and subsequent reactivation made transparent
+to clients of the object."
+"""
+
+from repro.storage.repository import StableRepository, StoredObject
+from repro.storage.passivation import PassivationManager
+
+__all__ = ["StableRepository", "StoredObject", "PassivationManager"]

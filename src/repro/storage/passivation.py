@@ -1,0 +1,99 @@
+"""Passivation: resource transparency.
+
+"Resource management may cause an object to be passivated when it is not
+in use - for example by removing it from main memory and putting it on
+disc" (section 5.4).  A passivated interface stays registered; the first
+invocation to arrive reactivates it transparently (the reactivator hook is
+installed on the interface), the epoch is bumped, and the relocation
+service is advised of the change.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.comp.interface import Interface, InterfaceState
+from repro.errors import StorageError
+from repro.storage.repository import StableRepository, StoredObject
+from repro.tx.versions import restore_snapshot, take_snapshot
+
+
+class PassivationManager:
+    """Moves idle objects between capsules and the stable repository."""
+
+    def __init__(self, domain) -> None:
+        self.domain = domain
+        self.passivations = 0
+        self.reactivations = 0
+        self.sweep_event = None
+
+    @property
+    def repository(self) -> StableRepository:
+        return self.domain.repository
+
+    # -- explicit passivation -----------------------------------------------------
+
+    def passivate(self, capsule, interface_id: str) -> None:
+        interface = capsule.interfaces.get(interface_id)
+        if interface is None:
+            raise StorageError(
+                f"no interface {interface_id} in capsule {capsule.name}")
+        if interface.state != InterfaceState.ACTIVE:
+            return
+        implementation = interface.implementation
+        self.repository.store(StoredObject(
+            key=f"passive:{interface_id}",
+            cls=type(implementation),
+            snapshot=take_snapshot(implementation),
+            signature=interface.signature,
+            constraints=interface.annotations.get("constraints"),
+            epoch=interface.epoch,
+            kind="passive"))
+        interface.passivate()
+        interface.annotations["reactivator"] = self._make_reactivator(
+            capsule)
+        self.passivations += 1
+
+    def _make_reactivator(self, capsule):
+        def reactivate(interface: Interface) -> None:
+            record = self.repository.fetch(
+                f"passive:{interface.interface_id}")
+            implementation = object.__new__(record.cls)
+            restore_snapshot(implementation, record.snapshot)
+            interface.reactivate(implementation)
+            self.repository.delete(f"passive:{interface.interface_id}")
+            self.reactivations += 1
+            # Advise relocation of the (same-place, new-epoch) reference.
+            self.domain.relocator.update(capsule.make_ref(interface))
+        return reactivate
+
+    # -- idle sweeping -------------------------------------------------------------
+
+    def sweep(self, capsules: List, idle_ms: float) -> int:
+        """Passivate every interface idle for longer than *idle_ms*."""
+        now = self.domain.scheduler.now
+        passivated = 0
+        for capsule in capsules:
+            for interface in list(capsule.interfaces.values()):
+                if interface.state != InterfaceState.ACTIVE:
+                    continue
+                if not interface.annotations.get("constraints") or \
+                        not interface.annotations["constraints"].resource:
+                    continue
+                last = interface.annotations.get("last_used", 0.0)
+                if now - last >= idle_ms:
+                    self.passivate(capsule, interface.interface_id)
+                    passivated += 1
+        return passivated
+
+    def start_sweeping(self, capsules: List, idle_ms: float,
+                       interval_ms: Optional[float] = None) -> None:
+        interval = interval_ms if interval_ms is not None else idle_ms
+        self.sweep_event = self.domain.scheduler.every(
+            interval, lambda: self.sweep(capsules, idle_ms),
+            label="passivation-sweep")
+
+    def stop_sweeping(self) -> None:
+        if self.sweep_event is not None:
+            self.sweep_event.cancel()
+            self.sweep_event = None

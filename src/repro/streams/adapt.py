@@ -1,0 +1,94 @@
+"""Closed-loop stream rate adaptation.
+
+Section 7.2: binding produces "an interface containing control and
+management functions" and stream events "should be monitored".  The
+adaptive controller closes that loop: it watches a flow's QoS monitor on
+a timer and drives the binding's rate control — backing off while the
+contract is violated, probing back up while it holds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class AdaptiveRateController:
+    """Monitor-driven rate control for one flow of a binding.
+
+    * every ``interval_ms`` of virtual time, examine the recent QoS;
+    * on contract violation: multiply the rate by ``backoff`` (down to
+      ``min_rate_hz``);
+    * on a clean period: multiply by ``recovery`` (up to the nominal
+      rate the flow started with).
+    """
+
+    def __init__(self, binding, flow_name: str, scheduler,
+                 interval_ms: float = 500.0,
+                 backoff: float = 0.5,
+                 recovery: float = 1.25,
+                 min_rate_hz: float = 1.0) -> None:
+        if not 0 < backoff < 1:
+            raise ValueError("backoff must be in (0, 1)")
+        if recovery <= 1:
+            raise ValueError("recovery must exceed 1")
+        self.binding = binding
+        self.flow_name = flow_name
+        self.scheduler = scheduler
+        self.interval_ms = interval_ms
+        self.backoff = backoff
+        self.recovery = recovery
+        self.min_rate_hz = min_rate_hz
+        flow = self._flow()
+        self.nominal_rate_hz = flow.rate_hz
+        self.monitor = binding.monitor_for(flow_name)
+        self._seen_frames = 0
+        self._event = None
+        #: (virtual time, new rate, reason) — the adaptation trace.
+        self.history: List[tuple] = []
+
+    def _flow(self):
+        for flow in self.binding.flows:
+            if flow.consumer_flow == self.flow_name:
+                return flow
+        raise KeyError(f"binding has no flow {self.flow_name!r}")
+
+    # -- the control loop -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._event is None:
+            self._event = self.scheduler.every(
+                self.interval_ms, self._tick,
+                label=f"rate-adapt:{self.flow_name}")
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _recent_violations(self) -> List[str]:
+        """Contract verdict over the window since the last tick."""
+        stats = self.monitor.stats()
+        return stats.contract_violations
+
+    def _tick(self) -> None:
+        flow = self._flow()
+        violations = self._recent_violations()
+        if violations:
+            new_rate = max(self.min_rate_hz,
+                           flow.rate_hz * self.backoff)
+            reason = violations[0]
+        else:
+            new_rate = min(self.nominal_rate_hz,
+                           flow.rate_hz * self.recovery)
+            reason = "contract holding"
+        if abs(new_rate - flow.rate_hz) > 1e-9:
+            self.binding.set_rate(flow.producer_flow, new_rate)
+            self.history.append((self.scheduler.now, new_rate, reason))
+
+    @property
+    def current_rate_hz(self) -> float:
+        return self._flow().rate_hz
+
+    def adapted_down(self) -> bool:
+        return any(rate < self.nominal_rate_hz
+                   for _, rate, _ in self.history)

@@ -1,0 +1,27 @@
+"""Trading (paper section 6).
+
+"Servers describe the services they provide (the types and properties of
+their interfaces) and the locations of each interface.  Clients describe
+the type and desired properties of services they want to use to a trader,
+which in turn supplies the client with references to suitable servers."
+
+Matching is type-safe (structural signature conformance — a client is
+"only told of service offers which provide at least the operations it
+requires"), properties are matched with a small constraint language, type
+managers add named-type rules, traders federate over an arbitrary graph
+with context-relative names, and offers can be linked to a resource
+manager that activates passive objects on import.
+"""
+
+from repro.trading.query import PropertyQuery
+from repro.trading.offer import ServiceOffer
+from repro.trading.typemanager import TypeManager
+from repro.trading.trader import Trader, ImportReply
+
+__all__ = [
+    "PropertyQuery",
+    "ServiceOffer",
+    "TypeManager",
+    "Trader",
+    "ImportReply",
+]

@@ -1,0 +1,208 @@
+"""The property constraint language.
+
+Offers carry property dictionaries ("service offers can be qualified with
+properties to distinguish them"); import requests carry a constraint
+expression over those properties.  The language is small and total — a
+hand-written recursive-descent parser, no ``eval``:
+
+    cost < 5 and region == 'eu' and not deprecated
+    replicas >= 3 or tier == "gold"
+    exists backup and backup != 'none'
+
+Missing properties evaluate to ``None``; ordered comparisons against
+``None`` are false rather than errors, so offers simply fail to match.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import PropertyQueryError
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<op><=|>=|==|!=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+""", re.VERBOSE)
+
+_KEYWORDS = {"and", "or", "not", "true", "false", "exists", "in"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise PropertyQueryError(
+                f"bad character {text[position]!r} at offset {position} "
+                f"in query {text!r}")
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "ws":
+            continue
+        if kind == "name" and value.lower() in _KEYWORDS:
+            tokens.append((value.lower(), value))
+        else:
+            tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class PropertyQuery:
+    """A parsed, reusable constraint expression."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text.strip()
+        if not self.text:
+            self._ast: Any = ("bool", True)
+        else:
+            parser = _Parser(_tokenize(self.text))
+            self._ast = parser.parse()
+
+    def matches(self, properties: Dict[str, Any]) -> bool:
+        return bool(_evaluate(self._ast, properties))
+
+    def __repr__(self) -> str:
+        return f"PropertyQuery({self.text!r})"
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.index]
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Tuple[str, str]:
+        token = self.advance()
+        if token[0] != kind:
+            raise PropertyQueryError(
+                f"expected {kind}, got {token[1]!r}")
+        return token
+
+    def parse(self):
+        ast = self._or()
+        if self.peek()[0] != "eof":
+            raise PropertyQueryError(
+                f"unexpected trailing token {self.peek()[1]!r}")
+        return ast
+
+    def _or(self):
+        left = self._and()
+        while self.peek()[0] == "or":
+            self.advance()
+            left = ("or", left, self._and())
+        return left
+
+    def _and(self):
+        left = self._not()
+        while self.peek()[0] == "and":
+            self.advance()
+            left = ("and", left, self._not())
+        return left
+
+    def _not(self):
+        if self.peek()[0] == "not":
+            self.advance()
+            return ("not", self._not())
+        if self.peek()[0] == "exists":
+            self.advance()
+            name = self.expect("name")[1]
+            return ("exists", name)
+        return self._comparison()
+
+    def _comparison(self):
+        left = self._term()
+        kind, value = self.peek()
+        if kind == "op":
+            self.advance()
+            return ("cmp", value, left, self._term())
+        if kind == "in":
+            self.advance()
+            return ("in", left, self._term())
+        return left
+
+    def _term(self):
+        kind, value = self.advance()
+        if kind == "number":
+            return ("lit", float(value) if "." in value else int(value))
+        if kind == "string":
+            return ("lit", value[1:-1])
+        if kind == "true":
+            return ("lit", True)
+        if kind == "false":
+            return ("lit", False)
+        if kind == "name":
+            return ("prop", value)
+        if kind == "lparen":
+            inner = self._or()
+            self.expect("rparen")
+            return inner
+        raise PropertyQueryError(f"unexpected token {value!r}")
+
+
+def _evaluate(ast, properties: Dict[str, Any]) -> Any:
+    kind = ast[0]
+    if kind == "bool":
+        return ast[1]
+    if kind == "lit":
+        return ast[1]
+    if kind == "prop":
+        return properties.get(ast[1])
+    if kind == "exists":
+        return ast[1] in properties
+    if kind == "not":
+        return not _evaluate(ast[1], properties)
+    if kind == "and":
+        return (_evaluate(ast[1], properties)
+                and _evaluate(ast[2], properties))
+    if kind == "or":
+        return (_evaluate(ast[1], properties)
+                or _evaluate(ast[2], properties))
+    if kind == "in":
+        container = _evaluate(ast[2], properties)
+        if container is None:
+            return False
+        try:
+            return _evaluate(ast[1], properties) in container
+        except TypeError:
+            return False
+    if kind == "cmp":
+        return _compare(ast[1],
+                        _evaluate(ast[2], properties),
+                        _evaluate(ast[3], properties))
+    raise PropertyQueryError(f"unknown AST node {kind!r}")
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if left is None or right is None:
+        return False
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise PropertyQueryError(f"unknown comparison {op!r}")

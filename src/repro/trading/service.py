@@ -1,0 +1,125 @@
+"""The trader as an ODP service.
+
+Section 6: "traders and type managers provide within an ODP system a
+description of its capabilities: self-describing systems are more
+open-ended and scale better than those which have a fixed external
+description."  The description has to be *reachable the same way as
+everything else* — so here the trader is wrapped as an ordinary ADT,
+exported into a capsule, and invoked through proxies like any service.
+Clients anywhere (including foreign domains, through gateways) can
+export offers, import services and read the type repository remotely.
+"""
+
+from __future__ import annotations
+
+from repro.comp.model import OdpObject, operation
+from repro.comp.outcomes import Signal
+from repro.errors import NoOfferError, TradingError
+from repro.util.freeze import FrozenRecord
+
+
+def _thaw(properties) -> dict:
+    if properties is None:
+        return {}
+    if isinstance(properties, FrozenRecord):
+        return {k: _thaw_value(v) for k, v in properties.items()}
+    if isinstance(properties, dict):
+        return {k: _thaw_value(v) for k, v in properties.items()}
+    raise TradingError("properties must be a record")
+
+
+def _thaw_value(value):
+    if isinstance(value, FrozenRecord):
+        return _thaw(value)
+    if isinstance(value, tuple):
+        return [_thaw_value(v) for v in value]
+    return value
+
+
+class TraderService(OdpObject):
+    """Remote-invocable facade over a domain trader."""
+
+    def __init__(self, trader) -> None:
+        self._trader = trader
+
+    @operation(params=[str, "any", "any"], returns=[str],
+               errors={"rejected": [str]})
+    def export_service(self, type_name, ref, properties):
+        """Advertise *ref* under a named service type."""
+        from repro.comp.reference import InterfaceRef
+
+        if not isinstance(ref, InterfaceRef):
+            raise Signal("rejected", "second argument must be an "
+                                     "interface reference")
+        try:
+            return self._trader.export(ref.signature, ref,
+                                       properties=_thaw(properties),
+                                       service_type=type_name)
+        except TradingError as exc:
+            raise Signal("rejected", str(exc))
+
+    @operation(params=[str], errors={"unknown": []})
+    def withdraw_offer(self, offer_id):
+        try:
+            self._trader.withdraw(offer_id)
+        except TradingError:
+            raise Signal("unknown")
+
+    @operation(params=[str, str, int], returns=["any"],
+               errors={"no_offer": [], "bad_query": [str]})
+    def import_by_type(self, type_name, query, max_hops):
+        """Import one offer of a named type matching *query*."""
+        from repro.errors import PropertyQueryError, TypeCheckError
+
+        try:
+            reply = self._trader.import_one(type_name, query=query,
+                                            max_hops=max_hops)
+        except NoOfferError:
+            raise Signal("no_offer")
+        except (PropertyQueryError, TypeCheckError) as exc:
+            raise Signal("bad_query", str(exc))
+        return reply.ref
+
+    @operation(params=[str, str, int], returns=[["any"]],
+               errors={"bad_query": [str]})
+    def import_all(self, type_name, query, max_hops):
+        from repro.errors import PropertyQueryError, TypeCheckError
+
+        try:
+            replies = self._trader.import_service(type_name, query=query,
+                                                  max_hops=max_hops)
+        except (PropertyQueryError, TypeCheckError) as exc:
+            raise Signal("bad_query", str(exc))
+        return [r.ref for r in replies]
+
+    @operation(returns=[[str]], readonly=True)
+    def known_types(self):
+        return self._trader.types.known_types()
+
+    @operation(params=[str], returns=[str], errors={"unknown": []},
+               readonly=True)
+    def describe_type(self, type_name):
+        """Self-description: the structure behind a type name."""
+        from repro.errors import TypeCheckError
+
+        try:
+            return self._trader.types.get(type_name).describe()
+        except TypeCheckError:
+            raise Signal("unknown")
+
+    @operation(returns=[int], readonly=True)
+    def offer_count(self):
+        return self._trader.offer_count()
+
+
+def export_trader(domain, capsule):
+    """Export a domain's trader as a service and self-advertise it."""
+    from repro.comp.model import signature_of
+
+    service = TraderService(domain.trader)
+    ref = capsule.export(service)
+    domain.trader.export(signature_of(TraderService), ref,
+                         properties={"role": "trader",
+                                     "domain": domain.name},
+                         service_type="trading")
+    return ref

@@ -1,0 +1,27 @@
+"""Selective transparency: the declarative-to-mechanism compiler.
+
+Paper section 4.5: "transparency requirements can be processed
+automatically by editing the code generated when programs are compiled to
+add the extra functionality needed to achieve transparency."  Here the
+"editing" happens at export time (server stacks) and bind time (client
+stacks): :mod:`repro.transparency.compiler` reads an
+:class:`~repro.comp.constraints.EnvironmentConstraints` value and links
+exactly the selected mechanism layers into the access path.
+"""
+
+from repro.transparency.compiler import (
+    compile_client_channel,
+    compile_server_stack,
+    prepend_server_layer,
+    rebuild_server_chain,
+)
+from repro.transparency.access import describe_client_stack, describe_server_stack
+
+__all__ = [
+    "compile_client_channel",
+    "compile_server_stack",
+    "prepend_server_layer",
+    "rebuild_server_chain",
+    "describe_client_stack",
+    "describe_server_stack",
+]

@@ -1,0 +1,151 @@
+"""The transparency compiler.
+
+Turns declarative :class:`~repro.comp.constraints.EnvironmentConstraints`
+into concrete channel stacks.  The application never names a mechanism —
+it states properties ("this interface is transactional", "mask location",
+"guard with policy P") and the compiler links the corresponding layers
+into the access path, exactly the division of labour section 4.5 argues
+for: "the engineering is separated from the application".
+
+Client stack (outermost first)::
+
+    metrics -> federation -> replication -> location -> transport
+
+Server stack (outermost first)::
+
+    type-check -> guard -> concurrency -> checkpoint -> method dispatch
+
+Selective transparency is literal here: an unselected transparency
+contributes no layer and therefore no cost (benchmark C3 measures this).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.comp.constraints import EnvironmentConstraints
+from repro.engine.channel import Channel, TransportLayer
+from repro.engine.dispatcher import Dispatcher
+from repro.engine.layers import MetricsLayer, compose_server
+from repro.errors import BindingError
+
+
+# ---------------------------------------------------------------------------
+# Client side
+# ---------------------------------------------------------------------------
+
+def compile_client_channel(nucleus, capsule, ref,
+                           constraints: EnvironmentConstraints) -> Channel:
+    """Build the client-side channel stack for *ref* under *constraints*."""
+    layers: List = [MetricsLayer()]
+    domain = nucleus.domain
+
+    if constraints.federation and domain is not None:
+        from repro.federation.layer import FederationClientLayer
+        layers.append(FederationClientLayer(nucleus, capsule, domain))
+
+    if ref.group:
+        if domain is None:
+            raise BindingError(
+                "group references need a domain (group registry)")
+        from repro.groups.client import GroupInvokeLayer
+        layers.append(GroupInvokeLayer(domain.groups, ref.interface_id,
+                                       nucleus, capsule))
+
+    if constraints.location and domain is not None and not ref.group:
+        from repro.relocation.layer import RelocationLayer
+        layers.append(RelocationLayer(domain.relocator))
+
+    transport = TransportLayer(
+        nucleus, capsule, allow_local=constraints.allow_local_shortcut)
+    return Channel(ref, nucleus, capsule, layers, transport)
+
+
+# ---------------------------------------------------------------------------
+# Server side
+# ---------------------------------------------------------------------------
+
+def compile_server_stack(nucleus, capsule, interface,
+                         constraints: EnvironmentConstraints) -> None:
+    """Attach the selected server-side mechanism layers to *interface*."""
+    if constraints.replication is not None:
+        raise BindingError(
+            "replication transparency is provided by the group registry: "
+            "use domain.groups.create(factory, capsules, spec) rather than "
+            "exporting a single implementation with a ReplicationSpec")
+
+    domain = nucleus.domain
+    layers: List = [Dispatcher(strict=True)]
+
+    if constraints.security is not None:
+        if domain is None:
+            raise BindingError("security transparency needs a domain")
+        from repro.security.guard import GuardLayer
+        spec = constraints.security
+        guard = GuardLayer(
+            policy=domain.policies.get(spec.policy),
+            authority=domain.authority,
+            audit=domain.audit if spec.audit else None,
+            require_authentication=spec.require_authentication,
+            clock=nucleus.network.scheduler.clock)
+        interface.annotations["guard_layer"] = guard
+        layers.append(guard)
+
+    if constraints.concurrency:
+        if domain is None:
+            raise BindingError("concurrency transparency needs a domain")
+        from repro.storage.repository import StoredObject
+        from repro.tx.layer import ConcurrencyControlLayer
+
+        durability_hook = None
+        if constraints.failure is not None or constraints.resource:
+            repository = domain.repository
+
+            def durability_hook(iface, snapshot):  # noqa: F811
+                repository.store(StoredObject(
+                    key=f"durable:{iface.interface_id}",
+                    cls=type(iface.implementation),
+                    snapshot=snapshot,
+                    signature=iface.signature,
+                    constraints=iface.annotations.get("constraints"),
+                    epoch=iface.epoch,
+                    kind="durable"))
+
+        concurrency = ConcurrencyControlLayer(
+            interface, capsule,
+            registry=domain.federation.tx_registry,
+            graph=domain.federation.waits_graph,
+            ordering=constraints.ordering,
+            durability_hook=durability_hook)
+        interface.annotations["concurrency_layer"] = concurrency
+        layers.append(concurrency)
+
+    if constraints.failure is not None:
+        if domain is None:
+            raise BindingError("failure transparency needs a domain")
+        from repro.recovery.checkpoint import CheckpointLayer
+        checkpoint = CheckpointLayer(interface, domain.repository,
+                                     constraints.failure)
+        interface.annotations["checkpoint_layer"] = checkpoint
+        layers.append(checkpoint)
+
+    interface.annotations["server_layers"] = layers
+    rebuild_server_chain(capsule, interface)
+
+
+def rebuild_server_chain(capsule, interface) -> None:
+    """Recompose the server chain after the layer list changed."""
+    layers = interface.annotations.get("server_layers", [])
+    interface.annotations["server_chain"] = compose_server(
+        layers, interface, capsule._core_dispatch(interface))
+
+
+def prepend_server_layer(capsule, interface, layer) -> None:
+    """Insert a layer at the outside of an interface's server stack.
+
+    Used by the group registry to wrap replicas with the ordering layer
+    after export.
+    """
+    layers = interface.annotations.setdefault("server_layers", [])
+    layers.insert(0, layer)
+    rebuild_server_chain(capsule, interface)

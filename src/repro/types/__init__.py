@@ -1,0 +1,55 @@
+"""The ODP computational type system.
+
+Abstract data types are the foundation of the paper's computational model
+(section 4.4).  Types here are *structural*: an interface is acceptable
+wherever its signature provides at least the operations the client requires
+(section 5.1 — "type checking [is] based on interface signature checking ...
+the alternative is to name types and declare type name hierarchies; however
+this fails to meet the requirements for federation and evolution").
+"""
+
+from repro.types.terms import (
+    TypeTerm,
+    ANY,
+    VOID,
+    BOOL,
+    INT,
+    FLOAT,
+    STR,
+    BYTES,
+    SeqType,
+    RecordType,
+    RefType,
+    parse_type,
+)
+from repro.types.signature import (
+    TerminationSig,
+    OperationSig,
+    InterfaceSignature,
+    OPERATIONAL,
+    STREAM,
+)
+from repro.types.conformance import conforms, signature_conforms, explain_mismatch
+
+__all__ = [
+    "TypeTerm",
+    "ANY",
+    "VOID",
+    "BOOL",
+    "INT",
+    "FLOAT",
+    "STR",
+    "BYTES",
+    "SeqType",
+    "RecordType",
+    "RefType",
+    "parse_type",
+    "TerminationSig",
+    "OperationSig",
+    "InterfaceSignature",
+    "OPERATIONAL",
+    "STREAM",
+    "conforms",
+    "signature_conforms",
+    "explain_mismatch",
+]

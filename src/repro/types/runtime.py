@@ -1,0 +1,73 @@
+"""Runtime value/type matching.
+
+Used by the server-side type-check layer ("for maximum safety, all accesses
+must be type checked", section 4.3) to validate that the values arriving in
+an invocation actually inhabit the declared parameter types, and by the
+client proxy to validate results during strict testing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.comp.reference import InterfaceRef
+from repro.types.conformance import signature_conforms
+from repro.types.terms import (
+    ANY,
+    BOOL,
+    BYTES,
+    FLOAT,
+    INT,
+    RecordType,
+    RefType,
+    SeqType,
+    STR,
+    TypeTerm,
+    VOID,
+)
+from repro.util.freeze import FrozenRecord
+
+
+def value_matches(value: Any, term: TypeTerm) -> bool:
+    """True when *value* inhabits *term*."""
+    if term is ANY:
+        return True
+    if term is VOID:
+        return value is None
+    if term is BOOL:
+        return isinstance(value, bool)
+    if term is INT:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if term is FLOAT:
+        return (isinstance(value, float)
+                or (isinstance(value, int) and not isinstance(value, bool)))
+    if term is STR:
+        return isinstance(value, str)
+    if term is BYTES:
+        return isinstance(value, bytes)
+    if isinstance(term, SeqType):
+        if not isinstance(value, (list, tuple)):
+            return False
+        return all(value_matches(v, term.element) for v in value)
+    if isinstance(term, RecordType):
+        if isinstance(value, FrozenRecord):
+            getter = value.get
+            has = value.__contains__
+        elif isinstance(value, dict):
+            getter = value.get
+            has = value.__contains__
+        else:
+            return False
+        for name, field_term in term.fields:
+            if not has(name) or not value_matches(getter(name), field_term):
+                return False
+        return True
+    if isinstance(term, RefType):
+        return (isinstance(value, InterfaceRef)
+                and signature_conforms(value.signature, term.signature))
+    return False
+
+
+def describe_mismatch(value: Any, term: TypeTerm) -> str:
+    return (f"value {value!r} of Python type {type(value).__name__} does "
+            f"not inhabit ADT type {term!r}")

@@ -1,0 +1,25 @@
+"""Deterministic identifier minting.
+
+The simulator is fully deterministic (no wall clock, no global random), so
+identifiers come from per-prefix counters rather than UUIDs.  Determinism is
+what makes the concurrency, replication and recovery tests reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class IdMinter:
+    """Mints ids of the form ``"<prefix>-<n>"`` with a counter per prefix."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def mint(self, prefix: str) -> str:
+        self._counters[prefix] += 1
+        return f"{prefix}-{self._counters[prefix]}"
+
+    def reset(self) -> None:
+        self._counters.clear()

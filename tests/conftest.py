@@ -1,0 +1,122 @@
+"""Shared fixtures: a world factory and reference ADT implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OdpObject, Signal, World, operation
+
+
+class Counter(OdpObject):
+    """Minimal stateful ADT."""
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    @operation(returns=[int])
+    def increment(self):
+        self.value += 1
+        return self.value
+
+    @operation(params=[int], returns=[int])
+    def add(self, n):
+        self.value += n
+        return self.value
+
+    @operation(returns=[int], readonly=True)
+    def read(self):
+        return self.value
+
+
+class Account(OdpObject):
+    """The paper's running example: a bank account ADT."""
+
+    def __init__(self, balance: int = 0) -> None:
+        self.balance = balance
+
+    @operation(params=[int], returns=[int])
+    def deposit(self, amount):
+        if amount < 0:
+            raise Signal("invalid_amount")
+        self.balance += amount
+        return self.balance
+
+    @operation(params=[int], returns=[int],
+               errors={"overdrawn": [int], "invalid_amount": []})
+    def withdraw(self, amount):
+        if amount < 0:
+            raise Signal("invalid_amount")
+        if amount > self.balance:
+            raise Signal("overdrawn", self.balance)
+        self.balance -= amount
+        return self.balance
+
+    @operation(returns=[int], readonly=True)
+    def balance_of(self):
+        return self.balance
+
+
+class KvStore(OdpObject):
+    """A small replicated-state workhorse."""
+
+    def __init__(self) -> None:
+        self.data = {}
+
+    @operation(params=[str, str])
+    def put(self, key, value):
+        self.data[key] = value
+
+    @operation(params=[str], returns=[str], readonly=True)
+    def get(self, key):
+        return self.data.get(key, "")
+
+    @operation(returns=[int], readonly=True)
+    def size(self):
+        return len(self.data)
+
+
+class Echo(OdpObject):
+    """Pass-through service for marshalling tests."""
+
+    @operation(params=["any"], returns=["any"])
+    def echo(self, value):
+        return value
+
+    @operation(params=["any"], announcement=True)
+    def fire(self, value):
+        self.last = value
+
+
+@pytest.fixture
+def world():
+    return World(seed=42)
+
+
+@pytest.fixture
+def single_domain(world):
+    """One domain, two nodes, server + client capsules."""
+    world.node("org", "server-node")
+    world.node("org", "client-node")
+    servers = world.capsule("server-node", "servers")
+    clients = world.capsule("client-node", "clients")
+    return world, world.domain("org"), servers, clients
+
+
+@pytest.fixture
+def trio_domain(world):
+    """One domain, three server nodes and a client node."""
+    for name in ("n1", "n2", "n3", "client-node"):
+        world.node("org", name)
+    capsules = [world.capsule(n, "srv") for n in ("n1", "n2", "n3")]
+    clients = world.capsule("client-node", "clients")
+    return world, world.domain("org"), capsules, clients
+
+
+@pytest.fixture
+def two_domains(world):
+    """Two linked domains with heterogeneous wire formats."""
+    world.node("alpha", "a1", "packed")
+    world.node("alpha", "a2", "packed")
+    world.node("beta", "b1", "tagged")
+    world.link_domains("alpha", "beta")
+    return world, world.domain("alpha"), world.domain("beta")

@@ -1,0 +1,109 @@
+"""Tests for boundary proxy objects (section 5.6's second interceptor
+form: representatives of objects on the other side)."""
+
+import pytest
+
+from repro import Signal
+from repro.errors import FederationError, MigrationError
+from repro.federation.proxies import materialize_proxy
+from tests.conftest import Account, Counter
+
+
+class TestMaterializedProxies:
+    def test_local_ref_forwards_to_foreign_object(self, two_domains):
+        world, alpha, beta = two_domains
+        servers = world.capsule("a1", "srv")
+        foreign_ref = servers.export(Counter())
+        local_ref = materialize_proxy(beta, foreign_ref)
+        # The representative lives in beta's gateway capsule.
+        assert local_ref.primary_path().node == "b1"
+        clients = world.capsule("b1", "apps")
+        proxy = world.binder_for(clients).bind(local_ref)
+        assert proxy.increment() == 1
+        assert proxy.increment() == 2
+        # The foreign object really changed.
+        assert servers.interfaces[
+            foreign_ref.interface_id].implementation.value == 2
+
+    def test_signature_preserved(self, two_domains):
+        world, alpha, beta = two_domains
+        servers = world.capsule("a1", "srv")
+        foreign_ref = servers.export(Account(5))
+        local_ref = materialize_proxy(beta, foreign_ref)
+        assert local_ref.signature == foreign_ref.signature
+
+    def test_signals_forward(self, two_domains):
+        world, alpha, beta = two_domains
+        servers = world.capsule("a1", "srv")
+        local_ref = materialize_proxy(beta, servers.export(Account(3)))
+        clients = world.capsule("b1", "apps")
+        proxy = world.binder_for(clients).bind(local_ref)
+        with pytest.raises(Signal) as exc:
+            proxy.withdraw(100)
+        assert exc.value.name == "overdrawn"
+        assert exc.value.values == (3,)
+
+    def test_materialisation_is_cached(self, two_domains):
+        world, alpha, beta = two_domains
+        servers = world.capsule("a1", "srv")
+        foreign_ref = servers.export(Counter())
+        first = materialize_proxy(beta, foreign_ref)
+        second = materialize_proxy(beta, foreign_ref)
+        assert first.interface_id == second.interface_id
+
+    def test_local_ref_is_returned_unwrapped(self, two_domains):
+        world, alpha, beta = two_domains
+        servers = world.capsule("a1", "srv")
+        ref = servers.export(Counter())
+        assert materialize_proxy(alpha, ref) is ref
+
+    def test_no_route_raises(self, world):
+        world.node("A", "a1")
+        world.node("C", "c1")  # not linked to A
+        servers = world.capsule("c1", "srv")
+        ref = servers.export(Counter())
+        with pytest.raises(FederationError):
+            materialize_proxy(world.domain("A"), ref)
+
+    def test_representative_survives_foreign_migration(self, world):
+        world.node("A", "a1")
+        world.node("A", "a2")
+        world.node("B", "b1")
+        world.link_domains("A", "B")
+        src = world.capsule("a1", "srv")
+        dst = world.capsule("a2", "srv")
+        foreign_ref = src.export(Counter())
+        local_ref = materialize_proxy(world.domain("B"), foreign_ref)
+        clients = world.capsule("b1", "apps")
+        proxy = world.binder_for(clients).bind(local_ref)
+        proxy.increment()
+        world.domain("A").migrator.migrate(src, foreign_ref.interface_id,
+                                           dst)
+        # The representative's forwarding leg repairs in A's domain.
+        assert proxy.increment() == 2
+
+    def test_representative_refuses_to_migrate(self, two_domains):
+        world, alpha, beta = two_domains
+        servers = world.capsule("a1", "srv")
+        local_ref = materialize_proxy(beta, servers.export(Counter()))
+        gw_capsule = beta.gateway_capsule()
+        other = world.capsule("b1", "apps")
+        with pytest.raises(MigrationError, match="refused"):
+            beta.migrator.migrate(gw_capsule, local_ref.interface_id,
+                                  other)
+
+    def test_representative_can_be_traded_locally(self, two_domains):
+        """The point of proxies: the foreign service participates in the
+        local infrastructure like a native object."""
+        world, alpha, beta = two_domains
+        servers = world.capsule("a1", "srv")
+        local_ref = materialize_proxy(beta, servers.export(Counter()))
+        beta.trader.export(local_ref.signature, local_ref,
+                           service_type="counting",
+                           properties={"origin": "alpha"})
+        from repro import signature_of
+        reply = beta.trader.import_one("counting",
+                                       query="origin == 'alpha'")
+        clients = world.capsule("b1", "apps")
+        proxy = world.binder_for(clients).bind(reply.ref)
+        assert proxy.increment() == 1

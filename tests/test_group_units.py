@@ -1,0 +1,79 @@
+"""Unit tests for the group data structures (View, ReplicaGroup)."""
+
+import pytest
+
+from repro.comp.constraints import ReplicationSpec
+from repro.comp.model import signature_of
+from repro.groups.group import Member, ReplicaGroup, View
+from tests.conftest import KvStore
+
+
+def members(n, dead=()):
+    made = []
+    for i in range(n):
+        member = Member(index=i, node=f"n{i}", capsule_name="c",
+                        interface_id=f"g.m{i}")
+        member.alive = i not in dead
+        made.append(member)
+    return made
+
+
+class TestView:
+    def test_sequencer_is_designated_member(self):
+        view = View(1, members(3), sequencer_index=1)
+        assert view.sequencer.index == 1
+
+    def test_sequencer_falls_back_to_first_live(self):
+        view = View(1, members(3, dead=[1]), sequencer_index=1)
+        assert view.sequencer.index == 0
+
+    def test_no_live_members_means_no_sequencer(self):
+        view = View(1, members(2, dead=[0, 1]), sequencer_index=0)
+        assert view.sequencer is None
+
+    def test_live_members_filtered(self):
+        view = View(1, members(4, dead=[2]))
+        assert [m.index for m in view.live_members()] == [0, 1, 3]
+
+
+class TestReplicaGroup:
+    def make(self):
+        return ReplicaGroup("g", signature_of(KvStore),
+                            ReplicationSpec(replicas=3))
+
+    def test_sequence_numbers_monotone(self):
+        group = self.make()
+        assert [group.next_seq() for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_observe_seq_skips_forward_only(self):
+        group = self.make()
+        group.next_seq()
+        group.observe_seq(10)
+        assert group.next_seq() == 11
+        group.observe_seq(3)  # never backwards
+        assert group.next_seq() == 12
+
+    def test_new_view_increments_number(self):
+        group = self.make()
+        group.new_view(members(3), sequencer_index=0)
+        group.new_view(members(2), sequencer_index=1)
+        assert group.view.number == 2
+        assert group.view_changes == 2
+
+    def test_rotate_reader_round_robins_live_members(self):
+        group = self.make()
+        group.new_view(members(3, dead=[1]), sequencer_index=0)
+        picked = [group.rotate_reader().index for _ in range(4)]
+        assert picked == [0, 2, 0, 2]
+
+    def test_rotate_reader_with_no_members_raises(self):
+        group = self.make()
+        group.new_view(members(1, dead=[0]), sequencer_index=0)
+        with pytest.raises(ValueError):
+            group.rotate_reader()
+
+    def test_repr_summarises(self):
+        group = self.make()
+        group.new_view(members(3, dead=[2]), sequencer_index=0)
+        text = repr(group)
+        assert "2/3 live" in text

@@ -1,0 +1,140 @@
+"""Tests for IDL rendering and the parse/render round trip."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import EnvironmentConstraints, FailureSpec, SecuritySpec
+from repro.idl import parse_idl, render_idl, render_interface
+from repro.types.signature import (
+    InterfaceSignature,
+    OperationSig,
+    TerminationSig,
+)
+from repro.types.terms import (
+    BOOL,
+    BYTES,
+    FLOAT,
+    INT,
+    RecordType,
+    RefType,
+    SeqType,
+    STR,
+)
+
+
+class TestRendering:
+    def test_simple_interface(self):
+        signature = InterfaceSignature("Greeter", [
+            OperationSig("greet", [STR], [TerminationSig("ok", [STR])])])
+        text = render_interface("Greeter", signature)
+        assert "interface Greeter {" in text
+        assert "greet(arg0: str) -> (str);" in text
+
+    def test_qualifiers_and_terminations(self):
+        signature = InterfaceSignature("S", [
+            OperationSig("peek", [], [TerminationSig("ok", [INT])],
+                         readonly=True),
+            OperationSig("poke", [INT],
+                         [TerminationSig("ok", ()),
+                          TerminationSig("jammed", [STR])]),
+            OperationSig("shout", [STR], announcement=True)])
+        text = render_interface("S", signature)
+        assert "readonly peek() -> (int);" in text
+        assert "poke(arg0: int) -> () | jammed(str);" in text
+        assert "announcement shout(arg0: str);" in text
+
+    def test_constraints_clause(self):
+        constraints = EnvironmentConstraints(
+            concurrency=True,
+            failure=FailureSpec(checkpoint_every=7),
+            security=SecuritySpec(policy="p", audit=False),
+            allow_local_shortcut=False)
+        signature = InterfaceSignature("S", [OperationSig("f")])
+        text = render_interface("S", signature, constraints)
+        assert "requires concurrency" in text
+        assert "failure(checkpoint_every=7)" in text
+        assert "security(policy='p'" in text
+        assert "no_local_shortcut" in text
+
+    def test_ref_types_require_prior_declaration(self):
+        inner = InterfaceSignature("Inner", [OperationSig("f")])
+        outer = InterfaceSignature("Outer", [
+            OperationSig("get", [],
+                         [TerminationSig("ok", [RefType(inner)])])])
+        text = render_idl([("Inner", inner, None),
+                           ("Outer", outer, None)])
+        assert "ref<Inner>" in text
+        with pytest.raises(ValueError, match="render the target"):
+            render_idl([("Outer", outer, None)])
+
+    def test_roundtrip_reconstructs_signature_and_constraints(self):
+        source = """
+        interface Account requires concurrency,
+                                   failure(checkpoint_every=5) {
+            deposit(arg0: int) -> (int);
+            withdraw(arg0: int) -> (int) | overdrawn(int);
+            readonly balance_of() -> (int);
+            announcement note(arg0: str);
+        }
+        """
+        doc = parse_idl(source)
+        rendered = render_interface("Account", doc["Account"],
+                                    doc.constraints("Account"))
+        doc2 = parse_idl(rendered)
+        assert doc2["Account"] == doc["Account"]
+        assert doc2["Account"].operation("balance_of").readonly
+        assert doc2.constraints("Account").failure.checkpoint_every == 5
+
+
+# -- property-based round trip ---------------------------------------------------
+
+primitive_terms = st.sampled_from([INT, FLOAT, STR, BOOL, BYTES])
+
+
+def terms(depth=2):
+    if depth == 0:
+        return primitive_terms
+    sub = terms(depth - 1)
+    return st.one_of(
+        primitive_terms,
+        sub.map(SeqType),
+        st.dictionaries(st.sampled_from(["a", "b", "c"]), sub,
+                        min_size=1, max_size=2).map(RecordType))
+
+
+operation_names = st.sampled_from(["f", "g", "h", "put_thing",
+                                   "get_thing"])
+termination_names = st.sampled_from(["failed", "rejected", "oops"])
+
+
+@st.composite
+def operations(draw):
+    name = draw(operation_names)
+    announcement = draw(st.booleans())
+    params = draw(st.lists(terms(1), max_size=2))
+    if announcement:
+        return OperationSig(name, params, announcement=True,
+                            readonly=False)
+    terminations = [TerminationSig("ok",
+                                   draw(st.lists(terms(1), max_size=2)))]
+    for extra in draw(st.lists(termination_names, max_size=2,
+                               unique=True)):
+        terminations.append(
+            TerminationSig(extra, draw(st.lists(terms(1), max_size=1))))
+    return OperationSig(name, params, terminations,
+                        readonly=draw(st.booleans()))
+
+
+signatures = st.lists(operations(), min_size=1, max_size=4,
+                      unique_by=lambda op: op.name).map(
+    lambda ops: InterfaceSignature("Generated", ops))
+
+
+@given(signatures)
+@settings(max_examples=150, deadline=None)
+def test_parse_render_roundtrip(signature):
+    text = render_interface("Generated", signature)
+    parsed = parse_idl(text)["Generated"]
+    assert parsed == signature
+    for name, op in signature.operations.items():
+        assert parsed.operation(name).readonly == op.readonly

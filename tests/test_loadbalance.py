@@ -1,0 +1,113 @@
+"""Tests for migration-based load balancing."""
+
+import pytest
+
+from repro import OdpObject, operation
+from repro.mgmt.loadbalance import LoadBalancer
+from tests.conftest import Counter
+
+
+@pytest.fixture
+def unbalanced(trio_domain):
+    """All load concentrated on n1's 'srv' capsule."""
+    world, domain, (c1, c2, c3), clients = trio_domain
+    binder = world.binder_for(clients)
+    proxies = []
+    for _ in range(4):
+        ref = c1.export(Counter())
+        proxies.append(binder.bind(ref))
+    balancer = LoadBalancer(domain, target_capsule_name="srv",
+                            imbalance_threshold=2.0,
+                            max_moves_per_pass=2)
+    return world, domain, (c1, c2, c3), proxies, balancer
+
+
+class TestLoadBalancer:
+    def test_hot_interfaces_move_off_the_busy_node(self, unbalanced):
+        world, domain, capsules, proxies, balancer = unbalanced
+        for proxy in proxies:
+            for _ in range(10):
+                proxy.increment()
+        moves = balancer.rebalance()
+        assert moves
+        assert all(move.from_node == "n1" for move in moves)
+        assert all(move.to_node in ("n2", "n3") for move in moves)
+        # Clients keep working transparently after the move.
+        assert all(proxy.increment() == 11 for proxy in proxies)
+
+    def test_balanced_load_is_left_alone(self, trio_domain):
+        world, domain, (c1, c2, c3), clients = trio_domain
+        binder = world.binder_for(clients)
+        proxies = [binder.bind(capsule.export(Counter()))
+                   for capsule in (c1, c2, c3)]
+        for proxy in proxies:
+            for _ in range(5):
+                proxy.increment()
+        balancer = LoadBalancer(domain, target_capsule_name="srv")
+        assert balancer.rebalance() == []
+
+    def test_load_is_rate_not_lifetime(self, unbalanced):
+        """An interface that *was* hot but has gone quiet should not
+        keep bouncing between nodes."""
+        world, domain, capsules, proxies, balancer = unbalanced
+        for proxy in proxies:
+            for _ in range(10):
+                proxy.increment()
+        balancer.rebalance()  # moves the hot ones
+        # No further traffic: a second pass must do nothing.
+        assert balancer.rebalance() == []
+
+    def test_objects_can_veto(self, trio_domain):
+        world, domain, (c1, c2, c3), clients = trio_domain
+
+        class Pinned(OdpObject):
+            def __init__(self):
+                self.value = 0
+
+            @operation(returns=[int])
+            def increment(self):
+                self.value += 1
+                return self.value
+
+            def odp_ready_to_move(self):
+                return False
+
+        binder = world.binder_for(clients)
+        proxy = binder.bind(c1.export(Pinned()))
+        for _ in range(20):
+            proxy.increment()
+        balancer = LoadBalancer(domain, target_capsule_name="srv")
+        assert balancer.rebalance() == []  # veto respected
+        assert proxy.increment() == 21
+
+    def test_scheduled_balancing_converges(self, unbalanced):
+        world, domain, capsules, proxies, balancer = unbalanced
+        balancer.start(interval_ms=100.0)
+        # Sustained load on the original node's objects.
+        for round_number in range(6):
+            for proxy in proxies:
+                for _ in range(5):
+                    proxy.increment()
+            world.scheduler.run_until(world.now + 100.0)
+        balancer.stop()
+        # Some interfaces migrated away; all proxies still consistent.
+        assert balancer.moves
+        populated_nodes = {
+            node for node, nucleus in domain.nuclei.items()
+            if nucleus.capsules.get("srv")
+            and nucleus.capsules["srv"].interfaces}
+        assert len(populated_nodes) >= 2
+
+    def test_crashed_nodes_excluded(self, unbalanced):
+        world, domain, capsules, proxies, balancer = unbalanced
+        for proxy in proxies:
+            for _ in range(10):
+                proxy.increment()
+        world.crash_node("n2")
+        world.crash_node("n3")
+        assert balancer.rebalance() == []  # nowhere to move
+
+    def test_threshold_validation(self, trio_domain):
+        world, domain, capsules, clients = trio_domain
+        with pytest.raises(ValueError):
+            LoadBalancer(domain, imbalance_threshold=1.0)

@@ -1,0 +1,156 @@
+"""Tests for node management and transparency monitoring."""
+
+import pytest
+
+from repro import EnvironmentConstraints, FailureSpec, signature_of
+from repro.mgmt.monitor import TransparencyMonitor
+from repro.mgmt.nodemanager import ManagementService, NodeManager, ServerSpec
+from repro.errors import InterfaceClosedError, NoOfferError
+from tests.conftest import Account, Counter
+
+
+def manager_with_specs(world, node="server-node"):
+    nucleus = world.nucleus(node)
+    manager = NodeManager(nucleus)
+    manager.declare(ServerSpec(
+        name="counter",
+        capsule_name="services",
+        factory=Counter,
+        advertise={"kind": "counter"},
+        service_type="counting"))
+    manager.declare(ServerSpec(
+        name="account",
+        capsule_name="services",
+        factory=lambda: Account(100),
+        advertise={"kind": "account"}))
+    return manager
+
+
+class TestNodeManager:
+    def test_boot_creates_and_advertises(self, single_domain):
+        world, domain, servers, clients = single_domain
+        manager = manager_with_specs(world)
+        started = manager.boot()
+        assert len(started) == 2
+        assert manager.status() == {"counter": True, "account": True}
+        reply = domain.trader.import_one("counting")
+        proxy = world.binder_for(clients).bind(reply.ref)
+        assert proxy.increment() == 1
+
+    def test_offers_carry_node_property(self, single_domain):
+        world, domain, servers, clients = single_domain
+        manager_with_specs(world).boot()
+        reply = domain.trader.import_one(
+            signature_of(Counter), query="node == 'server-node'")
+        assert reply.properties["node"] == "server-node"
+
+    def test_stop_closes_and_withdraws(self, single_domain):
+        world, domain, servers, clients = single_domain
+        manager = manager_with_specs(world)
+        manager.boot()
+        ref = manager.servers["counter"].ref
+        proxy = world.binder_for(clients).bind(ref)
+        manager.stop("counter")
+        with pytest.raises(InterfaceClosedError):
+            proxy.increment()
+        with pytest.raises(NoOfferError):
+            domain.trader.import_one("counting")
+        assert manager.status()["counter"] is False
+
+    def test_restart_after_stop(self, single_domain):
+        world, domain, servers, clients = single_domain
+        manager = manager_with_specs(world)
+        manager.boot()
+        manager.stop("counter")
+        manager.start("counter")
+        reply = domain.trader.import_one("counting")
+        proxy = world.binder_for(clients).bind(reply.ref)
+        assert proxy.increment() == 1  # a fresh instance
+
+    def test_boot_after_node_restart_recreates_servers(
+            self, single_domain):
+        world, domain, servers, clients = single_domain
+        manager = manager_with_specs(world)
+        manager.boot()
+        world.crash_node("server-node")
+        for server in manager.servers.values():
+            server.running = False  # the crash took them down
+        world.restart_node("server-node")
+        manager.boot()
+        assert manager.boots == 2
+        assert manager.status()["counter"] is True
+
+    def test_duplicate_spec_rejected(self, single_domain):
+        world, _, _, _ = single_domain
+        manager = manager_with_specs(world)
+        with pytest.raises(ValueError):
+            manager.declare(ServerSpec("counter", "services", Counter))
+
+    def test_management_service_remotely_drives_node(self, single_domain):
+        """Management is itself ODP: start/stop over the wire."""
+        world, domain, servers, clients = single_domain
+        manager = manager_with_specs(world)
+        manager.boot()
+        reply = domain.trader.import_one("management")
+        remote = world.binder_for(clients).bind(reply.ref)
+        assert remote.list_servers() == ("account", "counter")
+        assert remote.is_running("counter")
+        remote.stop_server("counter")
+        assert not remote.is_running("counter")
+        remote.start_server("counter")
+        assert remote.is_running("counter")
+        assert remote.boot_count() == 1
+
+
+class TestTransparencyMonitor:
+    def test_interface_report_shows_layers_and_counters(
+            self, single_domain):
+        world, domain, servers, clients = single_domain
+        from repro import SecuritySpec
+        from repro.security.policy import SecurityPolicy
+        domain.policies.register(
+            SecurityPolicy("open-door", default_allow=True))
+        domain.authority.enrol("alice")
+        ref = servers.export(
+            Account(0),
+            constraints=EnvironmentConstraints(
+                concurrency=True,
+                failure=FailureSpec(checkpoint_every=2),
+                security=SecuritySpec(policy="open-door")))
+        proxy = world.binder_for(clients).bind(ref, principal="alice")
+        proxy.deposit(10)
+        proxy.deposit(10)
+        report = TransparencyMonitor(domain).interface_report()
+        entry = report[ref.interface_id]
+        assert entry["layers"] == ["dispatch-typecheck", "guard",
+                                   "concurrency", "failure"]
+        assert entry["served"] == 2
+        assert entry["guard"]["allowed"] == 2
+        assert entry["concurrency"]["autocommit"] == 2
+        assert entry["failure"]["checkpoints"] >= 2
+
+    def test_domain_report_aggregates_services(self, trio_domain):
+        world, domain, (c1, c2, c3), clients = trio_domain
+        ref = c1.export(Counter())
+        proxy = world.binder_for(clients).bind(ref)
+        proxy.increment()
+        domain.migrator.migrate(c1, ref.interface_id, c2)
+        proxy.increment()
+        with domain.tx_manager.begin():
+            pass
+        report = TransparencyMonitor(domain).domain_report()
+        assert report["relocation"]["registrations"] >= 1
+        assert report["relocation"]["updates"] >= 1
+        assert report["transactions"]["committed"] == 1
+        assert report["migration"]["migrations"] == 1
+
+    def test_network_report_scoped_to_domain(self, two_domains):
+        world, alpha, beta = two_domains
+        servers = world.capsule("a1", "srv")
+        clients = world.capsule("b1", "cli")
+        proxy = world.binder_for(clients).bind(servers.export(Counter()))
+        proxy.increment()
+        report = TransparencyMonitor(alpha).network_report()
+        assert "a1" in report["per_node"]
+        assert "b1" not in report["per_node"]
+        assert report["messages"] > 0

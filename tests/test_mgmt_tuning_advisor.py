@@ -1,0 +1,148 @@
+"""Tests for runtime transparency tuning and the selection advisor."""
+
+import pytest
+
+from repro import EnvironmentConstraints, FailureSpec, SecuritySpec
+from repro.mgmt import TransparencyAdvisor, TransparencyTuner
+from repro.security.policy import SecurityPolicy
+from tests.conftest import Account, Counter
+
+
+class TestTuner:
+    def test_checkpoint_interval_retuned_live(self, single_domain):
+        world, domain, servers, clients = single_domain
+        ref = servers.export(Account(0), constraints=EnvironmentConstraints(
+            failure=FailureSpec(checkpoint_every=50)))
+        proxy = world.binder_for(clients).bind(ref)
+        tuner = TransparencyTuner(domain)
+        layer = servers.interfaces[ref.interface_id].annotations[
+            "checkpoint_layer"]
+        for _ in range(4):
+            proxy.deposit(1)
+        assert layer.checkpoints_taken == 1  # birth only
+        tuner.set_checkpoint_interval(ref.interface_id, 2)
+        for _ in range(4):
+            proxy.deposit(1)
+        assert layer.checkpoints_taken >= 3  # the new cadence applies
+
+    def test_forced_checkpoint(self, single_domain):
+        world, domain, servers, clients = single_domain
+        ref = servers.export(Account(0), constraints=EnvironmentConstraints(
+            failure=FailureSpec(checkpoint_every=100)))
+        proxy = world.binder_for(clients).bind(ref)
+        proxy.deposit(5)
+        tuner = TransparencyTuner(domain)
+        tuner.checkpoint_now(ref.interface_id)
+        record = domain.repository.fetch(f"ckpt:{ref.interface_id}")
+        assert record.snapshot["balance"] == 5
+        assert domain.repository.log_length(
+            f"wal:{ref.interface_id}") == 0
+
+    def test_untuned_interface_rejected(self, single_domain):
+        world, domain, servers, clients = single_domain
+        ref = servers.export(Counter())
+        tuner = TransparencyTuner(domain)
+        with pytest.raises(KeyError, match="no failure transparency"):
+            tuner.set_checkpoint_interval(ref.interface_id, 2)
+        with pytest.raises(KeyError, match="no interface"):
+            tuner.checkpoint_now("ghost")
+
+    def test_lease_ttl_adjustment(self, single_domain):
+        world, domain, servers, clients = single_domain
+        tuner = TransparencyTuner(domain)
+        tuner.set_lease_ttl(500.0)
+        ref = servers.export(Counter())
+        world.binder_for(clients).bind(ref)
+        assert not domain.collector.leases.has_live_lease(
+            ref.interface_id, world.now + 600.0)
+        with pytest.raises(ValueError):
+            tuner.set_lease_ttl(0)
+
+    def test_validation(self, single_domain):
+        world, domain, servers, clients = single_domain
+        tuner = TransparencyTuner(domain)
+        with pytest.raises(ValueError):
+            tuner.set_checkpoint_interval("whatever", 0)
+
+
+class TestAdvisor:
+    def test_quiet_system_yields_no_advice(self, single_domain):
+        world, domain, servers, clients = single_domain
+        ref = servers.export(Counter())
+        proxy = world.binder_for(clients).bind(ref)
+        proxy.increment()
+        advisor = TransparencyAdvisor(domain)
+        assert advisor.review_domain() == []
+
+    def test_contention_suggests_replication_or_split(self, single_domain):
+        world, domain, servers, clients = single_domain
+        ref = servers.export(Account(100), constraints=EnvironmentConstraints(
+            concurrency=True))
+        proxy = world.binder_for(clients).bind(ref)
+        # Hold a lock and hammer the interface to rack up busy counts.
+        blocker = domain.tx_manager.begin()
+        domain.tx_manager.push_current(blocker)
+        proxy.deposit(1)
+        domain.tx_manager.pop_current(blocker)
+        from repro.errors import LockBusyError
+        for _ in range(5):
+            with pytest.raises(LockBusyError):
+                proxy.deposit(1)
+        blocker.commit()
+        advice = TransparencyAdvisor(domain).review_domain()
+        assert any("read_spread" in r.action for r in advice)
+
+    def test_volatile_transactional_state_flagged(self, single_domain):
+        world, domain, servers, clients = single_domain
+        ref = servers.export(Account(0), constraints=EnvironmentConstraints(
+            concurrency=True))
+        proxy = world.binder_for(clients).bind(ref)
+        for _ in range(12):
+            proxy.deposit(1)
+        advice = TransparencyAdvisor(domain).review_domain()
+        assert any("select failure transparency" in r.action
+                   for r in advice)
+
+    def test_denial_storm_flagged_as_warning(self, single_domain):
+        world, domain, servers, clients = single_domain
+        domain.policies.register(
+            SecurityPolicy("fort-knox", default_allow=False))
+        domain.authority.enrol("outsider")
+        ref = servers.export(Counter(), constraints=EnvironmentConstraints(
+            security=SecuritySpec(policy="fort-knox")))
+        proxy = world.binder_for(clients).bind(ref, principal="outsider")
+        from repro.errors import AccessDeniedError
+        for _ in range(3):
+            with pytest.raises(AccessDeniedError):
+                proxy.increment()
+        advice = TransparencyAdvisor(domain).review_domain()
+        warnings = [r for r in advice if r.severity == "warning"]
+        assert any("security policy" in r.action for r in warnings)
+
+    def test_long_idle_suggests_resource_transparency(self,
+                                                      single_domain):
+        world, domain, servers, clients = single_domain
+        ref = servers.export(Counter())
+        proxy = world.binder_for(clients).bind(ref)
+        proxy.increment()
+        world.clock.advance(60_000.0)
+        advice = TransparencyAdvisor(domain).review_domain()
+        assert any("resource transparency" in r.action for r in advice)
+
+    def test_checkpoint_cadence_mismatch_detected(self, single_domain):
+        world, domain, servers, clients = single_domain
+        ref = servers.export(Account(0), constraints=EnvironmentConstraints(
+            failure=FailureSpec(checkpoint_every=1000)))
+        proxy = world.binder_for(clients).bind(ref)
+        for _ in range(30):
+            proxy.deposit(1)
+        advisor = TransparencyAdvisor(domain, idle_threshold_ms=1e9)
+        advice = advisor.review_domain()
+        # 30 logged writes against a birth checkpoint only.
+        assert any("checkpoint interval" in r.action for r in advice)
+
+    def test_recommendation_is_printable(self, single_domain):
+        world, domain, servers, clients = single_domain
+        from repro.mgmt import Recommendation
+        rec = Recommendation("if-1", "do the thing", "because reasons")
+        assert "if-1" in str(rec) and "because reasons" in str(rec)

@@ -1,0 +1,88 @@
+"""Property-based round-trip tests for the wire formats and marshaller."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ndr.codec import Marshaller
+from repro.ndr.formats import PackedFormat, TaggedFormat
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 70), max_value=2 ** 70),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+
+
+def trees(depth=3):
+    if depth == 0:
+        return scalars
+    sub = trees(depth - 1)
+    return st.one_of(
+        scalars,
+        st.lists(sub, max_size=4),
+        st.dictionaries(st.text(max_size=8), sub, max_size=4),
+    )
+
+
+@given(trees())
+@settings(max_examples=200)
+def test_packed_roundtrip(value):
+    fmt = PackedFormat()
+    assert fmt.loads(fmt.dumps(value)) == value
+
+
+@given(trees())
+@settings(max_examples=200)
+def test_tagged_roundtrip(value):
+    fmt = TaggedFormat()
+    assert fmt.loads(fmt.dumps(value)) == value
+
+
+def adt_values(depth=2):
+    """Values legal at ADT interfaces: immutable all the way down."""
+    if depth == 0:
+        return scalars
+    sub = adt_values(depth - 1)
+    return st.one_of(
+        scalars,
+        st.lists(sub, max_size=3).map(tuple),
+        st.dictionaries(st.text(min_size=1, max_size=6), sub, max_size=3),
+    )
+
+
+def normalise(value):
+    """The marshaller's canonical form: tuples and FrozenRecords."""
+    from repro.util.freeze import FrozenRecord
+
+    if isinstance(value, (list, tuple)):
+        return tuple(normalise(v) for v in value)
+    if isinstance(value, dict):
+        return FrozenRecord({k: normalise(v) for k, v in value.items()})
+    return value
+
+
+@given(adt_values())
+@settings(max_examples=200)
+def test_marshaller_roundtrip_is_canonical(value):
+    m = Marshaller()
+    assert m.unmarshal(m.marshal(value)) == normalise(value)
+
+
+@given(adt_values())
+@settings(max_examples=100)
+def test_marshal_then_wire_then_unmarshal(value):
+    m = Marshaller()
+    for fmt in (PackedFormat(), TaggedFormat()):
+        wired = fmt.loads(fmt.dumps(m.marshal(value)))
+        assert m.unmarshal(wired) == normalise(value)
+
+
+@given(adt_values())
+@settings(max_examples=100)
+def test_marshalling_is_idempotent_on_canonical_values(value):
+    m = Marshaller()
+    once = m.unmarshal(m.marshal(value))
+    twice = m.unmarshal(m.marshal(once))
+    assert once == twice

@@ -1,0 +1,199 @@
+"""Tests for the network simulator: latency, faults, delivery."""
+
+import pytest
+
+from repro.errors import MessageLostError, NodeUnreachableError
+from repro.net.fault import FaultPlan
+from repro.net.latency import (
+    DistanceLatency,
+    FixedLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.net.network import Network
+from repro.sim.rand import DeterministicRandom
+from repro.sim.scheduler import Scheduler
+
+
+def make_network(**kwargs):
+    sched = Scheduler()
+    net = Network(sched, **kwargs)
+    return sched, net
+
+
+class TestLatencyModels:
+    def test_base_model_charges_propagation_plus_bandwidth(self):
+        model = LatencyModel(propagation_ms=2.0,
+                             bandwidth_bytes_per_ms=100.0)
+        assert model.delay("a", "b", 500) == 2.0 + 5.0
+
+    def test_fixed_ignores_size(self):
+        model = FixedLatency(3.0)
+        assert model.delay("a", "b", 0) == 3.0
+        assert model.delay("a", "b", 10**6) == 3.0
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(1.0, 4.0, bandwidth_bytes_per_ms=1e9)
+        rng = DeterministicRandom(1)
+        for _ in range(50):
+            assert 1.0 <= model.delay("a", "b", 0, rng) <= 4.0
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(5.0, 1.0)
+
+    def test_distance_latency_is_symmetric(self):
+        model = DistanceLatency(default_ms=10.0,
+                                bandwidth_bytes_per_ms=1e9)
+        model.set_distance("a", "b", 1.0)
+        assert model.delay("a", "b", 0) == model.delay("b", "a", 0) == 1.0
+        assert model.delay("a", "c", 0) == 10.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyModel(propagation_ms=-1)
+        with pytest.raises(ValueError):
+            LatencyModel(bandwidth_bytes_per_ms=0)
+
+
+class TestFaultPlan:
+    def test_crash_blocks_both_directions(self):
+        plan = FaultPlan()
+        plan.crash_node("x")
+        assert plan.link_blocked("x", "y")
+        assert plan.link_blocked("y", "x")
+        plan.restart_node("x")
+        assert not plan.link_blocked("y", "x")
+
+    def test_cut_link_is_symmetric_and_healable(self):
+        plan = FaultPlan()
+        plan.cut_link("a", "b")
+        assert plan.link_blocked("a", "b")
+        assert plan.link_blocked("b", "a")
+        assert not plan.link_blocked("a", "c")
+        plan.heal_link("b", "a")
+        assert not plan.link_blocked("a", "b")
+
+    def test_partition_groups(self):
+        plan = FaultPlan()
+        plan.partition(["a", "b"], ["c"])
+        assert not plan.link_blocked("a", "b")
+        assert plan.link_blocked("a", "c")
+        assert plan.link_blocked("c", "b")
+        # unmentioned nodes reach everyone
+        assert not plan.link_blocked("a", "z")
+        plan.heal_partition()
+        assert not plan.link_blocked("a", "c")
+
+    def test_partition_rejects_overlap(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError):
+            plan.partition(["a"], ["a", "b"])
+
+    def test_drop_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_probability=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(drop_probability=-0.1)
+
+
+class TestNetwork:
+    def test_request_reply_roundtrip(self):
+        sched, net = make_network()
+        net.add_node("a")
+        server = net.add_node("b")
+        server.on_request(lambda src, payload: payload.upper())
+        assert net.request("a", "b", b"hello") == b"HELLO"
+
+    def test_request_charges_round_trip_latency(self):
+        sched, net = make_network(latency=FixedLatency(5.0))
+        net.add_node("a")
+        net.add_node("b").on_request(lambda s, p: p)
+        net.request("a", "b", b"x")
+        assert sched.now == 10.0
+
+    def test_request_to_crashed_node_raises(self):
+        sched, net = make_network()
+        net.add_node("a")
+        net.add_node("b").on_request(lambda s, p: p)
+        net.faults.crash_node("b")
+        with pytest.raises(NodeUnreachableError):
+            net.request("a", "b", b"x")
+
+    def test_request_to_unknown_node_raises(self):
+        sched, net = make_network()
+        net.add_node("a")
+        with pytest.raises(NodeUnreachableError):
+            net.request("a", "ghost", b"x")
+
+    def test_duplicate_node_rejected(self):
+        _, net = make_network()
+        net.add_node("a")
+        with pytest.raises(ValueError):
+            net.add_node("a")
+
+    def test_drops_raise_message_lost(self):
+        sched, net = make_network(
+            rng=DeterministicRandom(0))
+        net.faults.drop_probability = 0.95
+        net.add_node("a")
+        net.add_node("b").on_request(lambda s, p: p)
+        with pytest.raises(MessageLostError):
+            for _ in range(50):
+                net.request("a", "b", b"x")
+
+    def test_post_delivers_asynchronously(self):
+        sched, net = make_network(latency=FixedLatency(3.0))
+        net.add_node("a")
+        received = []
+        net.add_node("b").on_deliver(
+            "data", lambda m: received.append(m.payload))
+        net.post("a", "b", b"later")
+        assert received == []  # not yet delivered
+        sched.run_until_idle()
+        assert received == [b"later"]
+        assert sched.now == 3.0
+
+    def test_post_to_node_that_dies_in_flight_is_dropped(self):
+        sched, net = make_network(latency=FixedLatency(3.0))
+        net.add_node("a")
+        received = []
+        net.add_node("b").on_deliver(
+            "data", lambda m: received.append(m))
+        net.post("a", "b", b"doomed")
+        net.faults.crash_node("b")
+        sched.run_until_idle()
+        assert received == []
+        assert net.faults.drops == 1
+
+    def test_crashed_node_sends_nothing(self):
+        sched, net = make_network()
+        net.add_node("a")
+        received = []
+        net.add_node("b").on_deliver("data",
+                                     lambda m: received.append(m))
+        net.faults.crash_node("a")
+        net.post("a", "b", b"x")
+        sched.run_until_idle()
+        assert received == []
+
+    def test_traffic_accounting(self):
+        sched, net = make_network()
+        net.add_node("a")
+        net.add_node("b").on_request(lambda s, p: b"yy")
+        net.request("a", "b", b"xxx")
+        assert net.total_messages == 2
+        assert net.total_bytes == 5
+        assert net.node("a").stats.messages_sent == 1
+        assert net.node("a").stats.bytes_received == 2
+        assert net.node("b").stats.messages_received == 1
+
+    def test_partition_blocks_request(self):
+        sched, net = make_network()
+        net.add_node("a")
+        net.add_node("b").on_request(lambda s, p: p)
+        net.faults.partition(["a"], ["b"])
+        with pytest.raises(NodeUnreachableError):
+            net.request("a", "b", b"x")
+        net.faults.heal_partition()
+        assert net.request("a", "b", b"x") == b"x"

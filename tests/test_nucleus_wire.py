@@ -1,0 +1,141 @@
+"""Wire-level tests of the nucleus: malformed input, format mismatch,
+unknown capsules, and envelope routing edge cases."""
+
+import pytest
+
+from repro.engine.nucleus import FORMAT_ERROR_REPLY
+from repro.errors import ProtocolMismatchError
+from repro.ndr.formats import get_format
+from tests.conftest import Counter
+
+
+class TestNucleusRequestHandling:
+    def test_wrong_format_request_gets_sentinel(self, single_domain):
+        world, domain, servers, clients = single_domain
+        # server-node speaks 'packed'; send it 'tagged' bytes.
+        tagged = get_format("tagged")
+        payload = tagged.dumps({"capsule": "servers", "inv": {}})
+        reply = world.network.request("client-node", "server-node",
+                                      payload)
+        assert reply == FORMAT_ERROR_REPLY
+
+    def test_garbage_bytes_get_sentinel(self, single_domain):
+        world, domain, servers, clients = single_domain
+        reply = world.network.request("client-node", "server-node",
+                                      b"\x00\x01\x02not-a-message")
+        assert reply == FORMAT_ERROR_REPLY
+
+    def test_unknown_capsule_reports_stale(self, single_domain):
+        world, domain, servers, clients = single_domain
+        packed = get_format("packed")
+        payload = packed.dumps({"capsule": "nonexistent",
+                                "inv": {"id": "x", "op": "f",
+                                        "args": [], "epoch": 0}})
+        reply = packed.loads(world.network.request(
+            "client-node", "server-node", payload))
+        assert reply["error"]["code"] == "stale"
+
+    def test_unknown_interface_reports_stale(self, single_domain):
+        world, domain, servers, clients = single_domain
+        packed = get_format("packed")
+        payload = packed.dumps({"capsule": "servers",
+                                "inv": {"id": "ghost-if", "op": "f",
+                                        "args": [], "epoch": 0}})
+        reply = packed.loads(world.network.request(
+            "client-node", "server-node", payload))
+        assert reply["error"]["code"] == "stale"
+
+    def test_txctl_for_interface_without_concurrency(self,
+                                                     single_domain):
+        world, domain, servers, clients = single_domain
+        ref = servers.export(Counter())
+        packed = get_format("packed")
+        payload = packed.dumps({"capsule": "servers",
+                                "txctl": {"tx": "tx-1",
+                                          "phase": "prepare",
+                                          "iface": ref.interface_id}})
+        reply = packed.loads(world.network.request(
+            "client-node", "server-node", payload))
+        assert reply["txr"]["ok"] is False
+        assert "no concurrency" in reply["txr"]["msg"]
+
+    def test_txctl_for_missing_interface(self, single_domain):
+        world, domain, servers, clients = single_domain
+        packed = get_format("packed")
+        payload = packed.dumps({"capsule": "servers",
+                                "txctl": {"tx": "tx-1",
+                                          "phase": "commit",
+                                          "iface": "ghost"}})
+        reply = packed.loads(world.network.request(
+            "client-node", "server-node", payload))
+        assert reply["txr"]["ok"] is False
+
+    def test_announcement_to_unknown_capsule_is_dropped(self,
+                                                        single_domain):
+        world, domain, servers, clients = single_domain
+        packed = get_format("packed")
+        payload = packed.dumps({"capsule": "ghost",
+                                "inv": {"id": "x", "op": "f",
+                                        "args": [], "epoch": 0,
+                                        "kind": "announcement"}})
+        world.network.post("client-node", "server-node", payload,
+                           kind="invoke")
+        world.settle()  # must not raise
+
+    def test_garbage_announcement_is_dropped(self, single_domain):
+        world, domain, servers, clients = single_domain
+        world.network.post("client-node", "server-node", b"garbage",
+                           kind="invoke")
+        world.settle()
+
+    def test_epoch_ahead_of_interface_is_stale(self, single_domain):
+        world, domain, servers, clients = single_domain
+        ref = servers.export(Counter())
+        packed = get_format("packed")
+        payload = packed.dumps({"capsule": "servers",
+                                "inv": {"id": ref.interface_id,
+                                        "op": "read", "args": [],
+                                        "epoch": 99}})
+        reply = packed.loads(world.network.request(
+            "client-node", "server-node", payload))
+        assert reply["error"]["code"] == "stale"
+
+
+class TestClientSideMismatch:
+    def test_proxy_raises_protocol_mismatch_on_forced_wrong_format(
+            self, single_domain):
+        """A reference forged with the wrong wire format fails loudly,
+        not silently."""
+        world, domain, servers, clients = single_domain
+        ref = servers.export(Counter())
+        wrong = ref.with_paths([
+            p.__class__(p.node, p.capsule, p.protocol, "tagged")
+            for p in ref.paths])
+        from repro import EnvironmentConstraints
+        proxy = world.binder_for(clients).bind(
+            wrong,
+            constraints=EnvironmentConstraints(location=False,
+                                               federation=False))
+        with pytest.raises(ProtocolMismatchError):
+            proxy.increment()
+
+
+class TestImplicitExportMemoisation:
+    def test_same_object_exports_once(self, single_domain):
+        world, domain, servers, clients = single_domain
+        from tests.conftest import Echo
+        echo_proxy = world.binder_for(clients).bind(servers.export(Echo()))
+        shared = Counter()
+        before = len(clients.interfaces)
+        first = echo_proxy.echo(shared)
+        second = echo_proxy.echo(shared)
+        assert first == second  # same reference both times
+        assert len(clients.interfaces) == before + 1
+
+    def test_different_objects_export_separately(self, single_domain):
+        world, domain, servers, clients = single_domain
+        from tests.conftest import Echo
+        echo_proxy = world.binder_for(clients).bind(servers.export(Echo()))
+        first = echo_proxy.echo(Counter())
+        second = echo_proxy.echo(Counter())
+        assert first.interface_id != second.interface_id

@@ -1,0 +1,109 @@
+"""Oracle-based property tests: platform algorithms checked against
+independent reference implementations (networkx for graph questions,
+brute force for scheduling order)."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.federation.domain import Federation
+from repro.net.network import Network
+from repro.sim.scheduler import Scheduler
+from repro.tx.deadlock import WaitsForGraph
+
+# ---------------------------------------------------------------------------
+# Deadlock detection vs networkx cycle finding
+# ---------------------------------------------------------------------------
+
+tx_ids = st.sampled_from(["t1", "t2", "t3", "t4", "t5"])
+edges = st.lists(st.tuples(tx_ids, tx_ids), max_size=12)
+
+
+@given(edges, tx_ids, st.sets(tx_ids, max_size=3))
+@settings(max_examples=300)
+def test_would_deadlock_agrees_with_networkx(existing, waiter, holders):
+    graph = WaitsForGraph()
+    digraph = nx.DiGraph()
+    for a, b in existing:
+        if a != b:
+            graph.add_waits(a, {b})
+            digraph.add_edge(a, b)
+    ours = graph.would_deadlock(waiter, holders) is not None
+    # Oracle: the candidate edges waiter->holder close a cycle exactly
+    # when the existing graph already has a path holder ~> waiter.
+    theirs = any(
+        holder in digraph and waiter in digraph
+        and nx.has_path(digraph, holder, waiter)
+        for holder in holders if holder != waiter)
+    assert ours == theirs
+
+
+@given(edges)
+@settings(max_examples=100)
+def test_remove_transaction_clears_all_edges(existing):
+    graph = WaitsForGraph()
+    for a, b in existing:
+        if a != b:
+            graph.add_waits(a, {b})
+    graph.remove_transaction("t1")
+    assert "t1" not in graph.waiting("t2") | graph.waiting("t3") | \
+        graph.waiting("t4") | graph.waiting("t5")
+    assert graph.waiting("t1") == set()
+
+
+# ---------------------------------------------------------------------------
+# Federation routing vs networkx shortest path
+# ---------------------------------------------------------------------------
+
+domain_names = st.sampled_from(["A", "B", "C", "D", "E"])
+links = st.lists(st.tuples(domain_names, domain_names), min_size=0,
+                 max_size=10)
+
+
+@given(links, domain_names, domain_names)
+@settings(max_examples=200)
+def test_route_agrees_with_networkx_shortest_path(pairs, source, target):
+    federation = Federation(Scheduler(), Network(Scheduler()))
+    digraph = nx.DiGraph()
+    for name in ("A", "B", "C", "D", "E"):
+        federation.create_domain(name)
+        digraph.add_node(name)
+    for a, b in pairs:
+        if a != b:
+            federation.link(a, b, bidirectional=False)
+            digraph.add_edge(a, b)
+
+    from repro.errors import FederationError
+    try:
+        route = federation.route(source, target)
+        ours = len(route) - 1
+    except FederationError:
+        ours = None
+    try:
+        theirs = nx.shortest_path_length(digraph, source, target)
+    except nx.NetworkXNoPath:
+        theirs = None
+    assert ours == theirs
+
+
+# ---------------------------------------------------------------------------
+# Scheduler ordering vs sorted-reference execution
+# ---------------------------------------------------------------------------
+
+event_times = st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False), min_size=1,
+                       max_size=20)
+
+
+@given(event_times)
+@settings(max_examples=200)
+def test_scheduler_executes_in_stable_time_order(times):
+    scheduler = Scheduler()
+    executed = []
+    for index, when in enumerate(times):
+        scheduler.at(when, lambda i=index: executed.append(i))
+    scheduler.run_until_idle()
+    # Reference: stable sort by time preserving submission order.
+    expected = [i for _, i in sorted((t, i)
+                                     for i, t in enumerate(times))]
+    assert executed == expected
+    assert scheduler.now == max(times)

@@ -1,0 +1,142 @@
+"""Tests for the virtual clock and discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import Scheduler
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(1.0) == 3.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_advance_to_moves_forward_only(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+        clock.advance_to(5.0)  # no-op
+        assert clock.now == 10.0
+
+
+class TestScheduler:
+    def test_events_run_in_time_order(self):
+        sched = Scheduler()
+        order = []
+        sched.at(5.0, lambda: order.append("b"))
+        sched.at(1.0, lambda: order.append("a"))
+        sched.at(9.0, lambda: order.append("c"))
+        sched.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        sched = Scheduler()
+        order = []
+        sched.at(3.0, lambda: order.append(1))
+        sched.at(3.0, lambda: order.append(2))
+        sched.at(3.0, lambda: order.append(3))
+        sched.run_until_idle()
+        assert order == [1, 2, 3]
+
+    def test_clock_advances_to_event_time(self):
+        sched = Scheduler()
+        seen = []
+        sched.at(7.0, lambda: seen.append(sched.now))
+        sched.run_until_idle()
+        assert seen == [7.0]
+        assert sched.now == 7.0
+
+    def test_after_is_relative(self):
+        sched = Scheduler()
+        sched.clock.advance(10.0)
+        seen = []
+        sched.after(5.0, lambda: seen.append(sched.now))
+        sched.run_until_idle()
+        assert seen == [15.0]
+
+    def test_past_events_run_now(self):
+        sched = Scheduler()
+        sched.clock.advance(10.0)
+        seen = []
+        sched.at(3.0, lambda: seen.append(sched.now))
+        sched.run_until_idle()
+        assert seen == [10.0]
+
+    def test_cancel(self):
+        sched = Scheduler()
+        fired = []
+        event = sched.at(1.0, lambda: fired.append(True))
+        event.cancel()
+        sched.run_until_idle()
+        assert fired == []
+
+    def test_events_can_schedule_events(self):
+        sched = Scheduler()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sched.after(1.0, lambda: seen.append("second"))
+
+        sched.at(1.0, first)
+        sched.run_until_idle()
+        assert seen == ["first", "second"]
+
+    def test_every_repeats_until_cancelled(self):
+        sched = Scheduler()
+        ticks = []
+        handle = sched.every(10.0, lambda: ticks.append(sched.now))
+        sched.run_until(35.0)
+        handle.cancel()
+        sched.run_until(100.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_every_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Scheduler().every(0.0, lambda: None)
+
+    def test_run_until_sets_clock_to_deadline(self):
+        sched = Scheduler()
+        sched.run_until(50.0)
+        assert sched.now == 50.0
+
+    def test_run_until_leaves_later_events_queued(self):
+        sched = Scheduler()
+        fired = []
+        sched.at(100.0, lambda: fired.append(True))
+        sched.run_until(50.0)
+        assert fired == []
+        assert sched.pending() == 1
+        sched.run_until_idle()
+        assert fired == [True]
+
+    def test_run_until_idle_detects_runaway_loops(self):
+        sched = Scheduler()
+
+        def forever():
+            sched.after(1.0, forever)
+
+        sched.after(1.0, forever)
+        with pytest.raises(RuntimeError, match="did not go idle"):
+            sched.run_until_idle(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Scheduler().step() is False
+
+    def test_pending_excludes_cancelled(self):
+        sched = Scheduler()
+        event = sched.at(1.0, lambda: None)
+        sched.at(2.0, lambda: None)
+        event.cancel()
+        assert sched.pending() == 1

@@ -1,0 +1,140 @@
+"""Stateful property test: replica groups under chaotic membership.
+
+A hypothesis rule machine drives a replicated KV store through random
+writes, sequencer crashes, node restarts + revivals, graceful leaves and
+joins.  Invariants after every step:
+
+* the group serves reads and writes whenever >= 1 member is live,
+* all live, in-view members hold identical state,
+* the client model (a plain dict) always matches what the group returns.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import ReplicationSpec
+from repro.runtime import World
+from tests.conftest import KvStore
+
+NODES = ["g0", "g1", "g2", "g3"]
+
+
+class GroupChaosMachine(RuleBasedStateMachine):
+    @initialize()
+    def build(self):
+        self.world = World(seed=123)
+        self.capsules = {}
+        for node in NODES:
+            self.world.node("org", node)
+            self.capsules[node] = self.world.capsule(node, "srv")
+        self.world.node("org", "client")
+        self.clients = self.world.capsule("client", "cli")
+        self.domain = self.world.domain("org")
+        self.group, gref = self.domain.groups.create(
+            KvStore, [self.capsules[n] for n in NODES[:3]],
+            ReplicationSpec(replicas=3, policy="active"))
+        self.proxy = self.world.binder_for(self.clients).bind(gref)
+        self.model = {}
+        self.crashed = set()
+        self.writes = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _live_count(self):
+        return sum(1 for m in self.group.view.live_members()
+                   if m.node not in self.crashed)
+
+    # -- rules --------------------------------------------------------------------
+
+    @precondition(lambda self: self._live_count() >= 1)
+    @rule(key=st.sampled_from(["a", "b", "c"]),
+          value=st.integers(0, 99))
+    def write(self, key, value):
+        self.writes += 1
+        self.proxy.put(key, str(value))
+        self.model[key] = str(value)
+
+    @precondition(lambda self: self._live_count() >= 1)
+    @rule(key=st.sampled_from(["a", "b", "c", "zzz"]))
+    def read(self, key):
+        assert self.proxy.get(key) == self.model.get(key, "")
+
+    @precondition(lambda self: self._live_count() >= 2)
+    @rule()
+    def crash_sequencer(self):
+        sequencer = self.group.view.sequencer
+        if sequencer is None or sequencer.node in self.crashed:
+            return
+        self.world.crash_node(sequencer.node)
+        self.crashed.add(sequencer.node)
+
+    @precondition(lambda self: bool(self.crashed))
+    @rule()
+    def restart_and_revive(self):
+        node = sorted(self.crashed)[0]
+        self.world.restart_node(node)
+        self.crashed.discard(node)
+        member = next((m for m in self.group.view.members
+                       if m.node == node and not m.alive), None)
+        if member is not None:
+            self.domain.groups.revive(self.group.group_id, member.index)
+
+    @precondition(lambda self: len(self.group.view.members) >= 2
+                  and self._live_count() >= 2)
+    @rule()
+    def graceful_leave(self):
+        live = [m for m in self.group.view.live_members()
+                if m.node not in self.crashed]
+        if len(live) < 2:
+            return
+        self.domain.groups.leave(self.group.group_id, live[-1].index)
+
+    @precondition(lambda self: "g3" not in
+                  {m.node for m in self.group.view.members
+                   if m.alive} and "g3" not in self.crashed
+                  and self._live_count() >= 1)
+    @rule()
+    def join_fresh_member(self):
+        already = any(m.node == "g3" for m in self.group.view.members)
+        if already:
+            return
+        self.domain.groups.join(self.group.group_id, self.capsules["g3"])
+
+    # -- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def live_members_agree(self):
+        if not hasattr(self, "world"):
+            return
+        states = []
+        for member in self.group.view.live_members():
+            if member.node in self.crashed:
+                continue
+            if member.layer is not None and member.layer.out_of_sync:
+                continue
+            capsule, interface = self.domain.groups._plumbing[
+                (self.group.group_id, member.index)]
+            if interface.implementation is not None:
+                states.append(dict(interface.implementation.data))
+        for state in states[1:]:
+            assert state == states[0]
+
+    @invariant()
+    def group_matches_model(self):
+        if not hasattr(self, "world") or self._live_count() < 1:
+            return
+        for key, value in self.model.items():
+            assert self.proxy.get(key) == value
+
+
+class TestGroupChaos(GroupChaosMachine.TestCase):
+    settings = settings(max_examples=25, stateful_step_count=25,
+                        deadline=None)

@@ -1,0 +1,90 @@
+"""Tests for closed-loop stream rate adaptation."""
+
+import pytest
+
+from repro.net.latency import FixedLatency
+from repro.runtime import World
+from repro.streams import AdaptiveRateController, FlowSpec, StreamQoS
+
+
+def build(drop=0.0, seed=9):
+    world = World(seed=seed, latency=FixedLatency(2.0),
+                  drop_probability=drop)
+    world.node("org", "src")
+    world.node("org", "dst")
+    producer = world.streams.create_endpoint("src", "cam", [
+        FlowSpec("video", "out", "video",
+                 StreamQoS(rate_hz=40.0, max_loss=0.02,
+                           max_jitter_ms=1e9, max_latency_ms=1e9))])
+    consumer = world.streams.create_endpoint("dst", "scr", [
+        FlowSpec("video", "in", "video",
+                 StreamQoS(rate_hz=40.0, max_loss=0.02,
+                           max_jitter_ms=1e9, max_latency_ms=1e9))])
+    producer.attach_source("video", lambda seq: b"F" * 100)
+    consumer.attach_sink("video", lambda *a: None)
+    binding = world.streams.bind(producer, consumer)
+    controller = AdaptiveRateController(binding, "video",
+                                        world.scheduler,
+                                        interval_ms=500.0)
+    return world, binding, controller
+
+
+class TestAdaptiveRate:
+    def test_clean_network_keeps_nominal_rate(self):
+        world, binding, controller = build(drop=0.0)
+        binding.start()
+        controller.start()
+        world.scheduler.run_until(4000.0)
+        controller.stop()
+        binding.stop()
+        world.settle()
+        assert controller.current_rate_hz == pytest.approx(40.0)
+        assert not controller.adapted_down()
+
+    def test_lossy_network_forces_backoff(self):
+        world, binding, controller = build(drop=0.25)
+        binding.start()
+        controller.start()
+        world.scheduler.run_until(4000.0)
+        controller.stop()
+        binding.stop()
+        world.settle()
+        assert controller.adapted_down()
+        assert controller.current_rate_hz < 40.0
+        # The adaptation trail explains itself.
+        assert any("loss" in reason
+                   for _, _, reason in controller.history)
+
+    def test_rate_never_falls_below_floor(self):
+        world, binding, controller = build(drop=0.6)
+        controller.min_rate_hz = 5.0
+        binding.start()
+        controller.start()
+        world.scheduler.run_until(10_000.0)
+        controller.stop()
+        binding.stop()
+        world.settle()
+        assert controller.current_rate_hz >= 5.0
+
+    def test_parameter_validation(self):
+        world, binding, _ = build()
+        with pytest.raises(ValueError):
+            AdaptiveRateController(binding, "video", world.scheduler,
+                                   backoff=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveRateController(binding, "video", world.scheduler,
+                                   recovery=0.9)
+        with pytest.raises(KeyError):
+            AdaptiveRateController(binding, "nope", world.scheduler)
+
+    def test_stop_freezes_rate(self):
+        world, binding, controller = build(drop=0.25)
+        binding.start()
+        controller.start()
+        world.scheduler.run_until(3000.0)
+        controller.stop()
+        frozen = controller.current_rate_hz
+        world.scheduler.run_until(6000.0)
+        binding.stop()
+        world.settle()
+        assert controller.current_rate_hz == frozen

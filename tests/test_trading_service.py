@@ -1,0 +1,101 @@
+"""Tests for the trader-as-a-service facade (self-describing systems)."""
+
+import pytest
+
+from repro import Signal, signature_of
+from repro.trading.service import TraderService, export_trader
+from tests.conftest import Account, Counter
+
+
+@pytest.fixture
+def remote_trader(single_domain):
+    world, domain, servers, clients = single_domain
+    trader_ref = export_trader(domain, servers)
+    proxy = world.binder_for(clients).bind(trader_ref)
+    return world, domain, servers, clients, proxy
+
+
+class TestRemoteTrading:
+    def test_trader_self_advertises(self, remote_trader):
+        world, domain, servers, clients, trader = remote_trader
+        reply = domain.trader.import_one("trading")
+        assert reply.properties["role"] == "trader"
+
+    def test_remote_export_and_import(self, remote_trader):
+        world, domain, servers, clients, trader = remote_trader
+        counter_ref = servers.export(Counter())
+        offer_id = trader.export_service("counting", counter_ref,
+                                         {"cost": 2})
+        assert offer_id.startswith("org.offer")
+        found = trader.import_by_type("counting", "cost < 5", 0)
+        proxy = world.binder_for(clients).bind(found)
+        assert proxy.increment() == 1
+
+    def test_remote_import_no_match(self, remote_trader):
+        world, domain, servers, clients, trader = remote_trader
+        counter_ref = servers.export(Counter())
+        trader.export_service("counting", counter_ref, {"cost": 50})
+        with pytest.raises(Signal) as exc:
+            trader.import_by_type("counting", "cost < 5", 0)
+        assert exc.value.name == "no_offer"
+
+    def test_remote_bad_query_reported(self, remote_trader):
+        world, domain, servers, clients, trader = remote_trader
+        counter_ref = servers.export(Counter())
+        trader.export_service("counting", counter_ref, {})
+        with pytest.raises(Signal) as exc:
+            trader.import_by_type("counting", "cost <", 0)
+        assert exc.value.name == "bad_query"
+
+    def test_remote_withdraw(self, remote_trader):
+        world, domain, servers, clients, trader = remote_trader
+        counter_ref = servers.export(Counter())
+        offer_id = trader.export_service("counting", counter_ref, {})
+        trader.withdraw_offer(offer_id)
+        with pytest.raises(Signal):
+            trader.import_by_type("counting", "", 0)
+        with pytest.raises(Signal) as exc:
+            trader.withdraw_offer(offer_id)
+        assert exc.value.name == "unknown"
+
+    def test_self_description_over_the_wire(self, remote_trader):
+        world, domain, servers, clients, trader = remote_trader
+        account_ref = servers.export(Account(0))
+        trader.export_service("account", account_ref, {})
+        types = trader.known_types()
+        assert "account" in types
+        description = trader.describe_type("account")
+        assert "deposit" in description
+        with pytest.raises(Signal):
+            trader.describe_type("nonsense")
+
+    def test_import_all_returns_every_match(self, remote_trader):
+        world, domain, servers, clients, trader = remote_trader
+        for cost in (1, 2, 9):
+            ref = servers.export(Counter())
+            trader.export_service("counting", ref, {"cost": cost})
+        refs = trader.import_all("counting", "cost < 5", 0)
+        assert len(refs) == 2
+
+    def test_rejects_non_reference_export(self, remote_trader):
+        world, domain, servers, clients, trader = remote_trader
+        with pytest.raises(Signal) as exc:
+            trader.export_service("counting", 42, {})
+        assert exc.value.name == "rejected"
+
+    def test_cross_domain_remote_trading(self, two_domains):
+        """A foreign organisation trades through the gateway."""
+        world, alpha, beta = two_domains
+        servers = world.capsule("a1", "srv")
+        trader_ref = export_trader(alpha, servers)
+        counter_ref = servers.export(Counter())
+        alpha.trader.export(counter_ref.signature, counter_ref,
+                            service_type="counting",
+                            properties={"cost": 1})
+        clients = world.capsule("b1", "apps")
+        trader = world.binder_for(clients).bind(trader_ref)
+        found = trader.import_by_type("counting", "cost < 5", 0)
+        # The ref crossed the boundary: context-relative annotation.
+        assert found.home_domain == "alpha"
+        proxy = world.binder_for(clients).bind(found)
+        assert proxy.increment() == 1

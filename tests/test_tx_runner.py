@@ -1,0 +1,172 @@
+"""Interleaved transaction scripts: serializability under contention.
+
+The key property (the whole point of concurrency transparency): whatever
+interleaving the runner produces, committed transactions observe effects
+equal to *some* serial order.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import EnvironmentConstraints
+from repro.runtime import World
+from repro.sim.rand import DeterministicRandom
+from repro.tx.runner import TxRunner
+from tests.conftest import Account
+
+TX = EnvironmentConstraints(concurrency=True)
+
+
+def build_bank(seed=1, accounts=3, balance=100):
+    world = World(seed=seed)
+    world.node("org", "s")
+    world.node("org", "c")
+    servers = world.capsule("s", "srv")
+    clients = world.capsule("c", "cli")
+    domain = world.domain("org")
+    proxies = []
+    for _ in range(accounts):
+        ref = servers.export(Account(balance), constraints=TX)
+        proxies.append(world.binder_for(clients).bind(ref))
+    return world, domain, proxies
+
+
+def transfer_script(source, target, amount):
+    def script(tx):
+        yield lambda: source.withdraw(amount)
+        yield lambda: target.deposit(amount)
+    return script
+
+
+class TestRunnerBasics:
+    def test_single_script_commits(self):
+        world, domain, (a, b, c) = build_bank()
+        runner = TxRunner(domain.tx_manager, world.scheduler)
+        [record] = runner.run([transfer_script(a, b, 10)])
+        assert record.committed
+        assert a.balance_of() == 90
+        assert b.balance_of() == 110
+
+    def test_disjoint_scripts_all_commit(self):
+        world, domain, (a, b, c) = build_bank()
+        runner = TxRunner(domain.tx_manager, world.scheduler)
+        records = runner.run([
+            transfer_script(a, b, 10),
+            transfer_script(c, c, 0),
+        ])
+        assert all(r.committed for r in records)
+
+    def test_conflicting_scripts_serialize(self):
+        world, domain, (a, b, c) = build_bank()
+        runner = TxRunner(domain.tx_manager, world.scheduler)
+        records = runner.run([
+            transfer_script(a, b, 10),
+            transfer_script(a, b, 20),
+            transfer_script(b, a, 5),
+        ])
+        assert all(r.committed for r in records)
+        # Money conserved and net transfer correct.
+        assert a.balance_of() == 100 - 10 - 20 + 5
+        assert b.balance_of() == 100 + 10 + 20 - 5
+
+    def test_deadlock_prone_workload_completes(self):
+        world, domain, (a, b, c) = build_bank()
+        runner = TxRunner(domain.tx_manager, world.scheduler,
+                          rng=DeterministicRandom(3))
+        # Opposite lock orders: the classic deadlock shape.
+        records = runner.run([
+            transfer_script(a, b, 1),
+            transfer_script(b, a, 1),
+            transfer_script(a, b, 2),
+            transfer_script(b, a, 2),
+        ])
+        assert all(r.committed for r in records)
+        assert a.balance_of() == 100
+        assert b.balance_of() == 100
+
+    def test_busy_waits_are_counted(self):
+        world, domain, (a, b, c) = build_bank()
+        runner = TxRunner(domain.tx_manager, world.scheduler)
+        records = runner.run([
+            transfer_script(a, b, 1),
+            transfer_script(a, b, 1),
+        ])
+        assert all(r.committed for r in records)
+        assert sum(r.busy_waits for r in records) >= 1
+
+
+class TestMoneyConservation:
+    @pytest.mark.parametrize("seed", [1, 7, 13, 99])
+    def test_total_balance_invariant(self, seed):
+        world, domain, proxies = build_bank(seed=seed, accounts=4)
+        rng = DeterministicRandom(seed)
+        scripts = []
+        for _ in range(8):
+            i, j = rng.sample(range(4), 2)
+            scripts.append(
+                transfer_script(proxies[i], proxies[j],
+                                rng.randint(1, 30)))
+        runner = TxRunner(domain.tx_manager, world.scheduler, rng=rng)
+        records = runner.run(scripts)
+        assert all(r.committed for r in records)
+        total = sum(p.balance_of() for p in proxies)
+        assert total == 400
+
+
+def serial_outcomes(transfers, accounts, balance):
+    """Final states reachable by any serial order of the transfers."""
+    outcomes = set()
+    for order in itertools.permutations(transfers):
+        state = [balance] * accounts
+        for source, target, amount in order:
+            if state[source] >= amount:
+                state[source] -= amount
+                state[target] += amount
+        outcomes.add(tuple(state))
+    return outcomes
+
+
+class TestSerializability:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2),
+                              st.integers(1, 40)),
+                    min_size=2, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_committed_result_matches_some_serial_order(self, seed,
+                                                        transfers):
+        transfers = [(s, t, amt) for s, t, amt in transfers if s != t]
+        if not transfers:
+            return
+        world, domain, proxies = build_bank(seed=seed, accounts=3,
+                                            balance=60)
+
+        def make(source, target, amount):
+            def script(tx):
+                def guarded_withdraw():
+                    from repro.comp.outcomes import Signal
+                    try:
+                        proxies[source].withdraw(amount)
+                        return True
+                    except Signal:
+                        return False
+                state = {}
+
+                def step1():
+                    state["ok"] = guarded_withdraw()
+
+                def step2():
+                    if state["ok"]:
+                        proxies[target].deposit(amount)
+
+                yield step1
+                yield step2
+            return script
+
+        runner = TxRunner(domain.tx_manager, world.scheduler,
+                          rng=DeterministicRandom(seed))
+        records = runner.run([make(*t) for t in transfers])
+        assert all(r.committed for r in records)
+        final = tuple(p.balance_of() for p in proxies)
+        assert final in serial_outcomes(transfers, 3, 60)

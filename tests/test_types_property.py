@@ -1,0 +1,104 @@
+"""Property-based tests for the type system (hypothesis).
+
+Invariants checked:
+
+* conformance is reflexive and transitive over generated type terms,
+* record width/depth subtyping composes,
+* signature conformance is a preorder.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.types import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    InterfaceSignature,
+    OperationSig,
+    RecordType,
+    SeqType,
+    STR,
+    TerminationSig,
+    conforms,
+    signature_conforms,
+)
+
+primitives = st.sampled_from([INT, FLOAT, STR, BOOL])
+
+
+def type_terms(depth=2):
+    if depth == 0:
+        return primitives
+    sub = type_terms(depth - 1)
+    return st.one_of(
+        primitives,
+        sub.map(SeqType),
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]), sub,
+            min_size=1, max_size=3).map(RecordType),
+    )
+
+
+def signatures():
+    return st.lists(
+        st.tuples(st.sampled_from(["f", "g", "h"]),
+                  st.lists(type_terms(1), max_size=2),
+                  st.lists(type_terms(1), max_size=2)),
+        min_size=1, max_size=3, unique_by=lambda t: t[0],
+    ).map(lambda ops: InterfaceSignature(
+        "S",
+        [OperationSig(name, params, [TerminationSig("ok", results)])
+         for name, params, results in ops]))
+
+
+@given(type_terms())
+@settings(max_examples=200)
+def test_conformance_reflexive(term):
+    assert conforms(term, term)
+
+
+@given(type_terms(), type_terms(), type_terms())
+@settings(max_examples=300)
+def test_conformance_transitive(a, b, c):
+    if conforms(a, b) and conforms(b, c):
+        assert conforms(a, c)
+
+
+@given(type_terms())
+@settings(max_examples=100)
+def test_everything_conforms_to_any(term):
+    assert conforms(term, ANY)
+
+
+@given(st.dictionaries(st.sampled_from(["a", "b", "c"]), primitives,
+                       min_size=1, max_size=3))
+@settings(max_examples=100)
+def test_record_conforms_to_every_projection(fields):
+    wide = RecordType(fields)
+    for drop in fields:
+        remaining = {k: v for k, v in fields.items() if k != drop}
+        if remaining:
+            assert conforms(wide, RecordType(remaining))
+
+
+@given(signatures())
+@settings(max_examples=100)
+def test_signature_conformance_reflexive(signature):
+    assert signature_conforms(signature, signature)
+
+
+@given(signatures(), signatures(), signatures())
+@settings(max_examples=200)
+def test_signature_conformance_transitive(a, b, c):
+    if signature_conforms(a, b) and signature_conforms(b, c):
+        assert signature_conforms(a, c)
+
+
+@given(signatures())
+@settings(max_examples=100)
+def test_adding_an_operation_preserves_conformance(signature):
+    extra = OperationSig("zzz_extra", [], [TerminationSig("ok", ())])
+    wider = InterfaceSignature(
+        "W", list(signature.operations.values()) + [extra])
+    assert signature_conforms(wider, signature)
