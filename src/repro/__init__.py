@@ -43,6 +43,14 @@ from repro.comp.outcomes import Signal, Termination
 from repro.comp.reference import InterfaceRef
 from repro.engine.binder import Binder, Proxy
 from repro.engine.futures import AsyncInvoker, Future
+from repro.net.fault import (
+    CrashWindow,
+    CutWindow,
+    FaultSchedule,
+    FlakyWindow,
+    GrayWindow,
+)
+from repro.resilience import CircuitBreaker, ReplyCache, RetryPolicy
 from repro.runtime import World
 from repro.util.freeze import FrozenRecord, deep_freeze
 
@@ -67,5 +75,13 @@ __all__ = [
     "SecuritySpec",
     "FrozenRecord",
     "deep_freeze",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ReplyCache",
+    "FaultSchedule",
+    "FlakyWindow",
+    "CrashWindow",
+    "GrayWindow",
+    "CutWindow",
     "__version__",
 ]

@@ -33,8 +33,14 @@ class QoS:
     deadline_ms: Optional[float] = None
     #: Transparent retries the protocol adapter may attempt on message loss.
     retries: int = 2
-    #: Delay between retries.
+    #: Base delay before the first retry (the backoff series starts here).
     retry_delay_ms: float = 1.0
+    #: Geometric growth factor for successive retry delays.
+    backoff_multiplier: float = 2.0
+    #: Ceiling on any single retry delay.
+    retry_delay_max_ms: float = 50.0
+    #: Symmetric deterministic jitter fraction on each retry delay.
+    retry_jitter: float = 0.1
     #: Preferred protocol name; None lets the binder choose.
     protocol: Optional[str] = None
 
@@ -87,6 +93,10 @@ class Invocation:
     context: InvocationContext = field(default_factory=InvocationContext)
     #: Epoch of the reference used, for staleness detection.
     epoch: int = 0
+    #: Unique id stamped at the channel mouth; constant across
+    #: retransmissions, so the server's reply cache can deduplicate a
+    #: retry whose original reply was lost (exactly-once execution).
+    invocation_id: str = ""
 
     @property
     def expects_reply(self) -> bool:

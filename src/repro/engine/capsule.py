@@ -39,6 +39,22 @@ class Capsule:
         #: Memoised implicit exports: id(obj) -> InterfaceRef.
         self._implicit: Dict[int, InterfaceRef] = {}
         self.dispatches = 0
+        #: Invocation-id minting: a forked deterministic stream gives the
+        #: capsule a stable tag, a counter guarantees uniqueness.
+        self._invocation_tag = "%06x" % nucleus.network.rng.fork(
+            f"invid:{nucleus.node_address}:{name}").randint(0, 0xFFFFFF)
+        self._invocation_seq = 0
+
+    def next_invocation_id(self) -> str:
+        """Mint a unique id for one outgoing invocation.
+
+        Stamped once per logical invocation (not per attempt): every
+        retransmission reuses it, which is what lets the server side
+        deduplicate re-deliveries after a lost reply leg.
+        """
+        self._invocation_seq += 1
+        return (f"{self.nucleus.node_address}/{self.name}"
+                f"-{self._invocation_tag}-{self._invocation_seq}")
 
     # -- exporting ------------------------------------------------------------
 

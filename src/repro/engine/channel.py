@@ -39,6 +39,7 @@ from repro.errors import (
     ProtocolMismatchError,
 )
 from repro.ndr.formats import get_format
+from repro.resilience.retry import RetryPolicy
 
 
 class Channel:
@@ -76,6 +77,7 @@ class Channel:
             qos=qos or QoS.DEFAULT,
             context=context if context is not None else InvocationContext(),
             epoch=self.ref.epoch,
+            invocation_id=self.client_capsule.next_invocation_id(),
         )
         return self._chain(invocation)
 
@@ -112,7 +114,18 @@ class LocalTransport:
 
 
 class TransportLayer:
-    """Marshalling + network exchange with QoS retries and deadlines."""
+    """Marshalling + network exchange with QoS retries and deadlines.
+
+    The resilience layer (``repro.resilience``) lives here on the client
+    side: retransmissions follow a :class:`RetryPolicy` (exponential
+    backoff, deterministic jitter, waits clipped to the QoS deadline),
+    per-(node, protocol) circuit breakers veto dead paths during path
+    selection, exhausting one path's retries fails over to the next
+    path, and every invocation carries a unique id so the server's reply
+    cache can deduplicate retransmissions (exactly-once execution).
+    ``resilience_enabled = False`` reverts to the naive at-least-once
+    transport (fixed delay, no failover, no dedup) for A/B measurement.
+    """
 
     name = "transport"
 
@@ -126,9 +139,14 @@ class TransportLayer:
         #: marshalling and the network.  Disable to force the full path.
         self.allow_local = allow_local
         self.channel: Optional[Channel] = None
+        self.resilience_enabled = True
+        self._retry_rng = client_nucleus.network.rng.fork(
+            f"retry:{client_nucleus.node_address}:{client_capsule.name}")
         self.messages_sent = 0
         self.local_dispatches = 0
         self.retries = 0
+        self.backoff_wait_ms = 0.0
+        self.path_failovers = 0
 
     def attach(self, channel: Channel) -> None:
         self.channel = channel
@@ -164,6 +182,10 @@ class TransportLayer:
                 "ctx": Nucleus.encode_context(invocation.context),
             },
         }
+        # The invocation id is what makes server-side dedup possible;
+        # the legacy transport omits it and is therefore at-least-once.
+        if self.resilience_enabled and invocation.invocation_id:
+            envelope["inv"]["inv_id"] = invocation.invocation_id
         return wire.dumps(envelope)
 
     def _decode_reply(self, payload: bytes,
@@ -233,10 +255,24 @@ class TransportLayer:
         started = self.network.scheduler.now
         deadline = (None if qos.deadline_ms is None
                     else started + qos.deadline_ms)
+        resilient = self.resilience_enabled
+        policy = RetryPolicy.from_qos(qos) if resilient else None
+        stats = self.nucleus.resilience
+        paths = self._select_path(qos)
         last_unreachable: Optional[Exception] = None
+        last_lost: Optional[Exception] = None
 
-        for path in self._select_path(qos):
-            attempts = qos.retries + 1
+        for index, path in enumerate(paths):
+            breaker = (self.nucleus.breakers.breaker_for(
+                path.node, path.protocol) if resilient else None)
+            if breaker is not None and not breaker.allow():
+                stats.breaker_short_circuits += 1
+                if last_unreachable is None:
+                    last_unreachable = NodeUnreachableError(
+                        f"{invocation.operation}: circuit open for "
+                        f"{path.node}/{path.protocol}")
+                continue
+            attempts = policy.max_attempts if policy else qos.retries + 1
             for attempt in range(attempts):
                 if deadline is not None and \
                         self.network.scheduler.now >= deadline:
@@ -250,20 +286,45 @@ class TransportLayer:
                         self.nucleus.node_address, path.node, payload,
                         protocol=path.protocol)
                     termination = self._decode_reply(reply, path)
+                    if breaker is not None:
+                        breaker.record_success()
                     if deadline is not None and \
-                            self.network.scheduler.now > deadline:
+                            self.network.scheduler.now >= deadline:
                         raise DeadlineExceededError(
                             f"{invocation.operation}: reply arrived after "
                             f"the {qos.deadline_ms}ms deadline")
                     return termination
-                except MessageLostError:
+                except MessageLostError as exc:
                     self.retries += 1
+                    stats.retries += 1
+                    last_lost = exc
                     if attempt + 1 >= attempts:
-                        raise
-                    self.network.scheduler.clock.advance(qos.retry_delay_ms)
+                        if not resilient:
+                            raise  # legacy: no failing over to other paths
+                        break
+                    if policy is not None:
+                        delay = policy.delay_ms(attempt, self._retry_rng)
+                        if deadline is not None:
+                            # Never advance the clock past the deadline
+                            # only to raise afterwards.
+                            delay = min(delay, max(
+                                0.0,
+                                deadline - self.network.scheduler.now))
+                        self.backoff_wait_ms += delay
+                        stats.backoff_wait_ms += delay
+                    else:
+                        delay = qos.retry_delay_ms
+                    self.network.scheduler.clock.advance(delay)
                 except NodeUnreachableError as exc:
+                    if breaker is not None:
+                        breaker.record_failure()
                     last_unreachable = exc
                     break  # try the next access path
+            if index + 1 < len(paths):
+                stats.path_failovers += 1
+                self.path_failovers += 1
+        if last_lost is not None:
+            raise last_lost
         if last_unreachable is not None:
             raise last_unreachable
         raise CommunicationError(

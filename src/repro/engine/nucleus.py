@@ -25,6 +25,9 @@ from repro.comp.reference import AccessPath
 from repro.ndr.codec import Marshaller
 from repro.ndr.formats import get_format
 from repro.net.network import Network, NetworkNode
+from repro.resilience.breaker import BreakerRegistry
+from repro.resilience.dedup import ReplyCache
+from repro.resilience.stats import ResilienceStats
 
 #: Sentinel reply for undecodable requests (wire-format mismatch).
 FORMAT_ERROR_REPLY = b"!FORMAT-MISMATCH"
@@ -43,6 +46,13 @@ class Nucleus:
         self.wire = get_format(node.native_format)
         self.requests_handled = 0
         self.announcements_handled = 0
+        #: Server side of the resilience layer: retransmissions of an
+        #: already-executed invocation answer from here (exactly-once).
+        self.reply_cache = ReplyCache()
+        #: Client side: per-(node, protocol) breakers and counters for
+        #: every transport this node's capsules open.
+        self.breakers = BreakerRegistry(network.scheduler.clock)
+        self.resilience = ResilienceStats()
         node.on_request(self._handle_request)
         node.on_deliver("invoke", self._handle_announcement)
         node.on_deliver("ainvoke", self._handle_async_request)
@@ -121,6 +131,7 @@ class Nucleus:
                   else InvocationKind.INTERROGATION),
             context=context,
             epoch=obj.get("epoch", 0),
+            invocation_id=obj.get("inv_id", ""),
         )
 
     @staticmethod
@@ -142,6 +153,16 @@ class Nucleus:
 
         self.requests_handled += 1
         self.network.scheduler.clock.advance(self.processing_ms)
+
+        # Retransmission of an invocation we already executed?  Answer
+        # from the reply cache instead of dispatching twice.
+        inv_obj = envelope.get("inv")
+        invocation_id = (inv_obj.get("inv_id", "")
+                         if isinstance(inv_obj, dict) else "")
+        if invocation_id:
+            cached = self.reply_cache.lookup(invocation_id)
+            if cached is not None:
+                return cached
 
         capsule = self.capsules.get(envelope.get("capsule", ""))
         if capsule is None:
@@ -171,7 +192,13 @@ class Nucleus:
             reply = {"term": marshaller.marshal(termination)}
         except OdpError as exc:
             reply = {"error": encode_error(exc, marshaller)}
-        return self.wire.dumps(reply)
+        encoded = self.wire.dumps(reply)
+        # Cache successful replies only: errors are regenerated so a
+        # retry after the fault was repaired (relocation, lock release)
+        # is not answered with a stale failure.
+        if invocation_id and "term" in reply:
+            self.reply_cache.store(invocation_id, encoded)
+        return encoded
 
     def _handle_txctl(self, capsule, control: Dict[str, Any]
                       ) -> Dict[str, Any]:

@@ -115,7 +115,38 @@ class TransparencyMonitor:
             report["groups"] = {
                 "suspicions": domain.groups.suspicions,
             }
+        report["resilience"] = self.resilience_report()
         return report
+
+    def resilience_report(self) -> Dict[str, Any]:
+        """Aggregate the resilience layer's counters across the domain:
+        retries, backoff waits, breaker activity, suppressed duplicates."""
+        totals: Dict[str, Any] = {
+            "retries": 0,
+            "backoff_wait_ms": 0.0,
+            "path_failovers": 0,
+            "breaker_short_circuits": 0,
+            "breaker_trips": 0,
+            "breaker_rejections": 0,
+            "breakers_open": 0,
+            "duplicates_suppressed": 0,
+            "replies_cached": 0,
+        }
+        for nucleus in self.domain.nuclei.values():
+            stats = nucleus.resilience
+            totals["retries"] += stats.retries
+            totals["backoff_wait_ms"] += stats.backoff_wait_ms
+            totals["path_failovers"] += stats.path_failovers
+            totals["breaker_short_circuits"] += \
+                stats.breaker_short_circuits
+            breakers = nucleus.breakers.snapshot()
+            totals["breaker_trips"] += breakers["trips"]
+            totals["breaker_rejections"] += breakers["rejections"]
+            totals["breakers_open"] += breakers["open"]
+            cache = nucleus.reply_cache
+            totals["duplicates_suppressed"] += cache.duplicates_suppressed
+            totals["replies_cached"] += cache.replies_cached
+        return totals
 
     def network_report(self) -> Dict[str, Any]:
         network = self.domain.network

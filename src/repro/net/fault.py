@@ -1,28 +1,128 @@
-"""Fault injection plan.
+"""Fault injection plan and scriptable chaos schedules.
 
 Section 4.1: "catastrophic failures may occur which cannot be masked ...
 a computer may fail for an extended period; a critical network link may be
 broken".  The fault plan is the single place where crashes, partitions and
 probabilistic message loss are declared, so experiments can script failure
 scenarios explicitly.
+
+Two layers of scripting are offered:
+
+* imperative toggles on :class:`FaultPlan` — crash/restart, cut/heal,
+  partition, global and per-link drop probabilities, one-shot losses
+  and "gray" (degraded-latency) links;
+* declarative :class:`FaultSchedule`\\ s — failure scenarios as *data*:
+  timed windows (flaky link, crash-then-restart, gray link, link cut)
+  attached to a plan once and applied automatically as the virtual
+  clock passes each window boundary.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 
 class FaultPlan:
     """Mutable fault state consulted by the network on every transmit."""
 
     def __init__(self, drop_probability: float = 0.0) -> None:
-        if not 0.0 <= drop_probability < 1.0:
-            raise ValueError("drop probability must be in [0, 1)")
+        self._drop_probability = 0.0
         self.drop_probability = drop_probability
         self._crashed: Set[str] = set()
         self._cut_links: Set[Tuple[str, str]] = set()
         self._partition_of: Dict[str, int] = {}
+        #: Directional per-link drop probabilities: (src, dst) -> p.
+        self._link_drop: Dict[Tuple[str, str], float] = {}
+        #: Directional one-shot losses: (src, dst) -> messages to drop.
+        self._lose_next: Dict[Tuple[str, str], int] = {}
+        #: Directional latency inflation for gray links: (src, dst) -> factor.
+        self._gray: Dict[Tuple[str, str], float] = {}
+        self._schedule: Optional["FaultSchedule"] = None
+        self._clock = None
         self.drops = 0
+
+    # -- probabilistic loss ----------------------------------------------------
+
+    @property
+    def drop_probability(self) -> float:
+        """Base probability that any single message leg is lost."""
+        return self._drop_probability
+
+    @drop_probability.setter
+    def drop_probability(self, probability: float) -> None:
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        self._drop_probability = probability
+
+    def set_link_drop(self, source: str, destination: str,
+                      probability: float) -> None:
+        """Give the directed link source -> destination its own loss rate."""
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        if probability == 0.0:
+            self._link_drop.pop((source, destination), None)
+        else:
+            self._link_drop[(source, destination)] = probability
+
+    def link_drop(self, source: str, destination: str) -> float:
+        return self._link_drop.get((source, destination), 0.0)
+
+    def clear_link_drop(self, source: str, destination: str) -> None:
+        self._link_drop.pop((source, destination), None)
+
+    def lose_next(self, source: str, destination: str,
+                  count: int = 1) -> None:
+        """Deterministically drop the next *count* messages on a link.
+
+        This is how tests target a specific leg — e.g. the *reply* leg
+        of an interrogation — without relying on probabilities.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        key = (source, destination)
+        self._lose_next[key] = self._lose_next.get(key, 0) + count
+
+    def should_drop(self, source: str, destination: str, rng) -> bool:
+        """Decide (and account) whether this message leg is lost."""
+        self._sync()
+        key = (source, destination)
+        pending = self._lose_next.get(key, 0)
+        if pending > 0:
+            if pending == 1:
+                del self._lose_next[key]
+            else:
+                self._lose_next[key] = pending - 1
+            self.drops += 1
+            return True
+        probability = self._drop_probability
+        link = self._link_drop.get(key, 0.0)
+        if link:
+            # Independent loss processes: survive both to get through.
+            probability = 1.0 - (1.0 - probability) * (1.0 - link)
+        if probability and rng.chance(probability):
+            self.drops += 1
+            return True
+        return False
+
+    # -- gray (degraded) links -------------------------------------------------
+
+    def degrade_link(self, source: str, destination: str,
+                     factor: float) -> None:
+        """Inflate latency on a directed link (gray failure, not loss)."""
+        if factor < 1.0:
+            raise ValueError("latency factor must be >= 1.0")
+        if factor == 1.0:
+            self._gray.pop((source, destination), None)
+        else:
+            self._gray[(source, destination)] = factor
+
+    def restore_link(self, source: str, destination: str) -> None:
+        self._gray.pop((source, destination), None)
+
+    def latency_factor(self, source: str, destination: str) -> float:
+        self._sync()
+        return self._gray.get((source, destination), 1.0)
 
     # -- node crash / restart ------------------------------------------------
 
@@ -33,6 +133,7 @@ class FaultPlan:
         self._crashed.discard(node)
 
     def is_crashed(self, node: str) -> bool:
+        self._sync()
         return node in self._crashed
 
     @property
@@ -69,10 +170,34 @@ class FaultPlan:
     def heal_partition(self) -> None:
         self._partition_of.clear()
 
+    # -- chaos schedules -------------------------------------------------------
+
+    def attach_schedule(self, schedule: "FaultSchedule", clock) -> None:
+        """Drive this plan from a declarative schedule.
+
+        The schedule is consulted lazily: every fault verdict first
+        applies all window transitions the virtual clock has passed, so
+        both the synchronous request path (which advances the clock
+        directly) and scheduler-driven deliveries see a consistent
+        failure timeline.
+        """
+        self._schedule = schedule
+        self._clock = clock
+        self._sync()
+
+    def detach_schedule(self) -> None:
+        self._schedule = None
+        self._clock = None
+
+    def _sync(self) -> None:
+        if self._schedule is not None and self._clock is not None:
+            self._schedule.sync(self._clock.now, self)
+
     # -- the verdict ---------------------------------------------------------
 
     def link_blocked(self, source: str, destination: str) -> bool:
         """True when no message can currently pass source -> destination."""
+        self._sync()
         if source in self._crashed or destination in self._crashed:
             return True
         if self._key(source, destination) in self._cut_links:
@@ -82,3 +207,186 @@ class FaultPlan:
         if side_a is not None and side_b is not None and side_a != side_b:
             return True
         return False
+
+
+# ---------------------------------------------------------------------------
+# Declarative chaos windows
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FlakyWindow:
+    """Probabilistic loss during [start_ms, end_ms).
+
+    With ``source``/``destination`` set the loss is confined to that
+    directed link; otherwise the plan's base drop probability is raised
+    for the window (and restored afterwards).
+    """
+
+    start_ms: float
+    end_ms: float
+    drop: float
+    source: Optional[str] = None
+    destination: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Crash a node at start_ms; restart it at end_ms (None = forever)."""
+
+    node: str
+    start_ms: float
+    end_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class GrayWindow:
+    """Inflate latency on a directed link during [start_ms, end_ms)."""
+
+    start_ms: float
+    end_ms: float
+    factor: float
+    source: str
+    destination: str
+
+
+@dataclass(frozen=True)
+class CutWindow:
+    """Cut the (undirected) link a--b at start_ms; heal at end_ms."""
+
+    a: str
+    b: str
+    start_ms: float
+    end_ms: Optional[float] = None
+
+
+class FaultSchedule:
+    """A failure scenario as data: an ordered set of chaos windows.
+
+    Attach to a world with :meth:`repro.runtime.World.apply_chaos` (or
+    ``plan.attach_schedule(schedule, clock)``); each window's enter/exit
+    transition fires exactly once as the virtual clock passes it.
+    ``install`` additionally registers no-op pump events with a
+    scheduler so purely event-driven runs cross window boundaries even
+    if nothing consults the plan in between.
+    """
+
+    def __init__(self, *windows) -> None:
+        self.windows: List[object] = list(windows)
+        self._transitions: Optional[
+            List[Tuple[float, int, Callable[[FaultPlan], None]]]] = None
+        self._applied = 0
+        #: Window transitions applied so far (enter + exit).
+        self.activations = 0
+
+    def add(self, window) -> "FaultSchedule":
+        if self._transitions is not None:
+            raise RuntimeError("schedule already attached; add windows "
+                               "before attaching")
+        self.windows.append(window)
+        return self
+
+    # -- compilation -----------------------------------------------------------
+
+    def _compile(self) -> None:
+        transitions: List[Tuple[float, int,
+                                Callable[[FaultPlan], None]]] = []
+        seq = 0
+        for window in self.windows:
+            for when, action in self._window_transitions(window):
+                transitions.append((when, seq, action))
+                seq += 1
+        transitions.sort(key=lambda t: (t[0], t[1]))
+        self._transitions = transitions
+
+    def _window_transitions(self, window):
+        if isinstance(window, FlakyWindow):
+            if window.source is not None and window.destination is not None:
+                src, dst, drop = window.source, window.destination, \
+                    window.drop
+
+                def enter(plan, src=src, dst=dst, drop=drop):
+                    plan.set_link_drop(src, dst, drop)
+
+                def leave(plan, src=src, dst=dst):
+                    plan.clear_link_drop(src, dst)
+            else:
+                saved: Dict[str, float] = {}
+                drop = window.drop
+
+                def enter(plan, drop=drop, saved=saved):
+                    saved["prior"] = plan.drop_probability
+                    plan.drop_probability = drop
+
+                def leave(plan, saved=saved):
+                    plan.drop_probability = saved.pop("prior", 0.0)
+            return [(window.start_ms, enter), (window.end_ms, leave)]
+
+        if isinstance(window, CrashWindow):
+            node = window.node
+            steps = [(window.start_ms,
+                      lambda plan, node=node: plan.crash_node(node))]
+            if window.end_ms is not None:
+                steps.append((window.end_ms,
+                              lambda plan, node=node:
+                              plan.restart_node(node)))
+            return steps
+
+        if isinstance(window, GrayWindow):
+            src, dst, factor = window.source, window.destination, \
+                window.factor
+            return [
+                (window.start_ms,
+                 lambda plan, src=src, dst=dst, factor=factor:
+                 plan.degrade_link(src, dst, factor)),
+                (window.end_ms,
+                 lambda plan, src=src, dst=dst:
+                 plan.restore_link(src, dst)),
+            ]
+
+        if isinstance(window, CutWindow):
+            a, b = window.a, window.b
+            steps = [(window.start_ms,
+                      lambda plan, a=a, b=b: plan.cut_link(a, b))]
+            if window.end_ms is not None:
+                steps.append((window.end_ms,
+                              lambda plan, a=a, b=b:
+                              plan.heal_link(a, b)))
+            return steps
+
+        raise TypeError(f"unknown chaos window {window!r}")
+
+    # -- application -----------------------------------------------------------
+
+    def sync(self, now: float, plan: FaultPlan) -> int:
+        """Apply every transition with time <= *now* not yet applied."""
+        if self._transitions is None:
+            self._compile()
+        applied = 0
+        while self._applied < len(self._transitions):
+            when, _, action = self._transitions[self._applied]
+            if when > now:
+                break
+            self._applied += 1
+            self.activations += 1
+            applied += 1
+            action(plan)
+        return applied
+
+    def install(self, scheduler, plan: FaultPlan) -> None:
+        """Pump the schedule from scheduler events at window boundaries.
+
+        Only needed for purely event-driven runs; the lazy sync in
+        :class:`FaultPlan` already covers the request/reply path.  Note
+        that draining the scheduler (``world.settle()``) will then run
+        the clock forward to the last boundary.
+        """
+        if self._transitions is None:
+            self._compile()
+        for when, _, _action in self._transitions:
+            scheduler.at(when,
+                         lambda when=when: self.sync(when, plan),
+                         label=f"chaos@{when}")
+
+    def __repr__(self) -> str:
+        return (f"FaultSchedule({len(self.windows)} windows, "
+                f"{self.activations} activations)")

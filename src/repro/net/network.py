@@ -129,11 +129,15 @@ class Network:
             raise NodeUnreachableError(
                 f"{source} cannot reach {destination} "
                 f"(crash, cut link or partition)")
-        if self.faults.drop_probability and self.rng.chance(
-                self.faults.drop_probability):
-            self.faults.drops += 1
+        if self.faults.should_drop(source, destination, self.rng):
             raise MessageLostError(
                 f"message {source}->{destination} lost in transit")
+
+    def _leg_delay(self, latency: LatencyModel, source: str,
+                   destination: str, size: int) -> float:
+        """One leg's latency, inflated when the link is gray."""
+        return (latency.delay(source, destination, size, self.rng)
+                * self.faults.latency_factor(source, destination))
 
     def _account(self, source: str, destination: str, size: int) -> None:
         self.total_messages += 1
@@ -162,7 +166,7 @@ class Network:
         self._check_leg(source, destination)
         self._account(source, destination, len(payload))
         self.scheduler.clock.advance(
-            latency.delay(source, destination, len(payload), self.rng))
+            self._leg_delay(latency, source, destination, len(payload)))
 
         reply = dst.request_handler(source, payload)
 
@@ -170,7 +174,7 @@ class Network:
         self._check_leg(destination, source)
         self._account(destination, source, len(reply))
         self.scheduler.clock.advance(
-            latency.delay(destination, source, len(reply), self.rng))
+            self._leg_delay(latency, destination, source, len(reply)))
         return reply
 
     # -- asynchronous one-way delivery ---------------------------------------
@@ -186,14 +190,12 @@ class Network:
         """
         if self.faults.is_crashed(source):
             return  # a dead node sends nothing
-        if self.faults.drop_probability and self.rng.chance(
-                self.faults.drop_probability):
-            self.faults.drops += 1
+        if self.faults.should_drop(source, destination, self.rng):
             return
         message = NetMessage(source, destination, payload, kind,
                              dict(headers or {}), self.scheduler.now)
-        delay = self.latency.delay(source, destination, len(payload),
-                                   self.rng)
+        delay = self._leg_delay(self.latency, source, destination,
+                                len(payload))
         self.scheduler.after(delay, lambda: self._deliver(message),
                              label=f"net:{source}->{destination}:{kind}")
 

@@ -1,0 +1,56 @@
+"""Invocation resilience: the failure-transparency channel machinery.
+
+Section 4.1: "catastrophic failures may occur which cannot be masked"
+and the ODP programmer "has to think harder about error handling".  The
+platform's job is to mask exactly the failures that *can* be masked —
+without lying about the rest.  This package supplies the three
+mechanisms the transport weaves into every invocation path:
+
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter,
+  budget-capped by the invocation's QoS deadline, replacing the naive
+  fixed-delay retransmission loop;
+* :class:`CircuitBreaker` / :class:`BreakerRegistry` — per
+  (node, protocol) closed/open/half-open breakers consulted during path
+  selection, so repeated :class:`~repro.errors.NodeUnreachableError`\\ s
+  stop hammering a dead path and fail over to the remaining access
+  paths immediately;
+* :class:`ReplyCache` — the server-side deduplicating reply cache that
+  upgrades retransmission from at-least-once to exactly-once: a retry
+  after a lost *reply* leg returns the cached termination instead of
+  re-executing a non-idempotent operation.
+
+Chaos scenarios that exercise all of this are declared as data with
+:class:`~repro.net.fault.FaultSchedule` (re-exported here), and every
+counter is surfaced through
+:meth:`~repro.mgmt.monitor.TransparencyMonitor.domain_report`.
+"""
+
+from repro.net.fault import (
+    CrashWindow,
+    CutWindow,
+    FaultSchedule,
+    FlakyWindow,
+    GrayWindow,
+)
+from repro.resilience.breaker import (
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.dedup import ReplyCache
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.stats import ResilienceStats
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerRegistry",
+    "BreakerState",
+    "ReplyCache",
+    "ResilienceStats",
+    "FaultSchedule",
+    "FlakyWindow",
+    "CrashWindow",
+    "GrayWindow",
+    "CutWindow",
+]

@@ -1,0 +1,68 @@
+"""Server-side reply deduplication: exactly-once retransmission.
+
+The duplicate-execution hazard (section 4.1's unmaskable-failure
+discussion made concrete): a client that retransmits after losing the
+*reply* leg of an interrogation re-delivers a request the server
+already executed.  Without memory, the server executes it again —
+at-least-once semantics, silently wrong for non-idempotent operations.
+
+The :class:`ReplyCache` is that memory.  Every invocation carries a
+unique ``invocation_id``; after dispatch the nucleus caches the encoded
+reply under that id, and a retransmission returns the cached bytes
+instead of dispatching twice.  Only successful (``term``) replies are
+cached: error replies are regenerated so a retry after the fault was
+repaired (relocation, lock release) is not poisoned by a stale error.
+
+The cache is bounded (insertion-order eviction); a duplicate arriving
+after its entry was evicted degrades to at-least-once, the usual
+window-of-vulnerability trade every dedup cache makes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class ReplyCache:
+    """Bounded invocation-id -> encoded-reply cache for one nucleus."""
+
+    def __init__(self, capacity: int = 4096, enabled: bool = True) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._replies: "OrderedDict[str, bytes]" = OrderedDict()
+        self.duplicates_suppressed = 0
+        self.replies_cached = 0
+        self.evictions = 0
+
+    def lookup(self, invocation_id: str) -> Optional[bytes]:
+        """Return the cached reply for a retransmission, if any."""
+        if not self.enabled or not invocation_id:
+            return None
+        reply = self._replies.get(invocation_id)
+        if reply is not None:
+            self.duplicates_suppressed += 1
+        return reply
+
+    def store(self, invocation_id: str, reply: bytes) -> None:
+        if not self.enabled or not invocation_id or self.capacity == 0:
+            return
+        if invocation_id not in self._replies:
+            self.replies_cached += 1
+        self._replies[invocation_id] = reply
+        self._replies.move_to_end(invocation_id)
+        while len(self._replies) > self.capacity:
+            self._replies.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._replies.clear()
+
+    def __len__(self) -> int:
+        return len(self._replies)
+
+    def __repr__(self) -> str:
+        return (f"ReplyCache({len(self._replies)}/{self.capacity}, "
+                f"suppressed={self.duplicates_suppressed})")

@@ -1,0 +1,72 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+The QoS model (section 5.1) lets every invocation carry its own
+communications constraints.  A :class:`RetryPolicy` is the mechanism
+compiled from those constraints: attempt count, a geometric delay
+series, a per-attempt jitter drawn from a forked
+:class:`~repro.sim.rand.DeterministicRandom` stream (so two
+identically-seeded runs back off identically), and a hard cap so a
+single wait never overshoots the delay ceiling.
+
+The transport additionally clips every wait against the remaining QoS
+deadline budget: the virtual clock is never advanced past
+``qos.deadline_ms`` only to discover afterwards that the deadline
+passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comp.invocation import QoS
+from repro.sim.rand import DeterministicRandom
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for retransmissions on one access path."""
+
+    #: Total attempts per access path (first try + retries).
+    max_attempts: int = 3
+    #: Delay before the first retransmission.
+    base_delay_ms: float = 1.0
+    #: Geometric growth factor for successive delays.
+    multiplier: float = 2.0
+    #: Ceiling on any single delay.
+    max_delay_ms: float = 50.0
+    #: Symmetric jitter fraction applied to each delay (0.1 = +/-10%).
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_ms < 0.0 or self.max_delay_ms < 0.0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    @classmethod
+    def from_qos(cls, qos: QoS) -> "RetryPolicy":
+        """Compile the invocation's QoS constraints into a policy."""
+        return cls(
+            max_attempts=qos.retries + 1,
+            base_delay_ms=qos.retry_delay_ms,
+            multiplier=qos.backoff_multiplier,
+            max_delay_ms=qos.retry_delay_max_ms,
+            jitter=qos.retry_jitter,
+        )
+
+    def delay_ms(self, attempt: int,
+                 rng: DeterministicRandom) -> float:
+        """Delay before retransmitting after failed attempt *attempt*.
+
+        ``attempt`` is zero-based: the delay after the first failed try
+        is ``base_delay_ms`` (jittered).
+        """
+        delay = min(self.max_delay_ms,
+                    self.base_delay_ms * (self.multiplier ** attempt))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)

@@ -113,6 +113,15 @@ class World:
 
     # -- failure scripting ----------------------------------------------------------
 
+    def apply_chaos(self, schedule) -> None:
+        """Drive the fault plan from a declarative chaos schedule.
+
+        Window transitions fire as the virtual clock passes them — a
+        :class:`~repro.net.fault.FaultSchedule` declares the whole
+        failure scenario as data instead of imperative toggles.
+        """
+        self.faults.attach_schedule(schedule, self.scheduler.clock)
+
     def crash_node(self, address: str) -> None:
         self.faults.crash_node(address)
 
