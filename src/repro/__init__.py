@@ -52,6 +52,7 @@ from repro.net.fault import (
 )
 from repro.resilience import CircuitBreaker, ReplyCache, RetryPolicy
 from repro.runtime import World
+from repro.trace import MetricsRegistry, TraceCollector, TraceContext
 from repro.util.freeze import FrozenRecord, deep_freeze
 
 __version__ = "1.0.0"
@@ -83,5 +84,8 @@ __all__ = [
     "CrashWindow",
     "GrayWindow",
     "CutWindow",
+    "TraceContext",
+    "TraceCollector",
+    "MetricsRegistry",
     "__version__",
 ]

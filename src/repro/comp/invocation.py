@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.trace.context import TraceContext
 
 
 class InvocationKind(enum.Enum):
@@ -69,6 +72,10 @@ class InvocationContext:
     via_domains: Tuple[str, ...] = ()
     #: Free-form annotations for extensions.
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Causal trace position (management transparency, section 7.4).
+    #: Allocated at the client stub, re-parented by each layer that
+    #: opens a span, carried across the wire and federated hops.
+    trace: Optional["TraceContext"] = None
 
     def copy(self) -> "InvocationContext":
         return InvocationContext(
@@ -78,6 +85,7 @@ class InvocationContext:
             origin_domain=self.origin_domain,
             via_domains=self.via_domains,
             extra=dict(self.extra),
+            trace=self.trace,
         )
 
 

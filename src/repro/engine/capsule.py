@@ -24,6 +24,8 @@ from repro.errors import (
     StaleReferenceError,
     UnknownOperationError,
 )
+from repro.trace.context import pop_active, push_active
+from repro.trace.span import NULL_SPAN
 from repro.types.signature import InterfaceSignature
 
 
@@ -176,7 +178,35 @@ class Capsule:
         if handler is None:
             handler = self._core_dispatch(interface)
         interface.invocations_served += 1
-        return handler(invocation)
+
+        trace = invocation.context.trace
+        if trace is None:
+            return handler(invocation)
+        if not trace.sampled:
+            # Nothing to record, but nested calls the implementation
+            # makes must still inherit the not-sampled verdict.
+            push_active(trace)
+            try:
+                return handler(invocation)
+            finally:
+                pop_active()
+        span = self.nucleus.tracer.span(
+            f"execute:{invocation.operation}", "execute", trace,
+            node=self.nucleus.node_address, tags={"capsule": self.name})
+        # Scope the executing span so calls the implementation makes
+        # join this trace.
+        if span is not NULL_SPAN:
+            invocation.context.trace = span.context
+        push_active(invocation.context.trace)
+        try:
+            termination = handler(invocation)
+        except Exception as exc:
+            span.tag("error", type(exc).__name__).finish(status="error")
+            raise
+        finally:
+            pop_active()
+        span.finish()
+        return termination
 
     def _core_dispatch(self, interface: Interface) -> Callable:
         def core(invocation: Invocation) -> Termination:

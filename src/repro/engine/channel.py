@@ -40,6 +40,8 @@ from repro.errors import (
 )
 from repro.ndr.formats import get_format
 from repro.resilience.retry import RetryPolicy
+from repro.trace.context import current_trace
+from repro.trace.span import NULL_SPAN
 
 
 class Channel:
@@ -69,17 +71,43 @@ class Channel:
                context: Optional[InvocationContext] = None
                ) -> Optional[Termination]:
         self.invocations += 1
+        context = context if context is not None else InvocationContext()
+
+        # Trace allocation at the client stub (section 7.4): join the
+        # ambient trace when this call is nested inside a dispatch,
+        # otherwise mint a fresh trace (head sampling decides here).
+        tracer = self.client_nucleus.tracer
+        if context.trace is None:
+            ambient = current_trace()
+            context.trace = (ambient if ambient is not None
+                             else tracer.start_trace())
+        if context.trace.sampled:
+            span = tracer.span(
+                f"invoke:{operation}", "invoke", context.trace,
+                node=self.client_nucleus.node_address,
+                tags={"interface": self.ref.interface_id})
+            if span is not NULL_SPAN:
+                context.trace = span.context
+        else:
+            span = NULL_SPAN
+
         invocation = Invocation(
             interface_id=self.ref.interface_id,
             operation=operation,
             args=tuple(args),
             kind=kind,
             qos=qos or QoS.DEFAULT,
-            context=context if context is not None else InvocationContext(),
+            context=context,
             epoch=self.ref.epoch,
             invocation_id=self.client_capsule.next_invocation_id(),
         )
-        return self._chain(invocation)
+        try:
+            termination = self._chain(invocation)
+        except Exception as exc:
+            span.tag("error", type(exc).__name__).finish(status="error")
+            raise
+        span.finish()
+        return termination
 
 
 class LocalTransport:
@@ -233,12 +261,43 @@ class TransportLayer:
             # A non-None sentinel is needed so the caller knows the send
             # happened; announcements have no termination.
             return Termination("ok", ())
-        return target.dispatch(invocation)
+        trace = invocation.context.trace
+        if trace is not None and trace.sampled:
+            span = self.nucleus.tracer.span(
+                "transport.local", "transport", trace,
+                node=self.nucleus.node_address,
+                tags={"capsule": path.capsule})
+            if span is not NULL_SPAN:
+                invocation.context.trace = span.context
+        else:
+            span = NULL_SPAN
+        try:
+            termination = target.dispatch(invocation)
+        except Exception as exc:
+            span.tag("error", type(exc).__name__).finish(status="error")
+            raise
+        span.finish()
+        return termination
 
     def send(self, invocation: Invocation) -> Optional[Termination]:
         invocation.interface_id = self.channel.ref.interface_id
         invocation.epoch = self.channel.ref.epoch
+        # Each attempt re-parents the carried trace below; restore it on
+        # the way out so a layer above (relocation repair) that re-sends
+        # the same invocation starts from its own span again.
+        parent_ctx = invocation.context.trace
+        try:
+            return self._send(invocation, parent_ctx)
+        finally:
+            invocation.context.trace = parent_ctx
+
+    def _send(self, invocation: Invocation,
+              parent_ctx) -> Optional[Termination]:
         qos = invocation.qos
+        tracer = self.nucleus.tracer
+        # One cheap verdict up front: when the carried trace is absent
+        # or unsampled, the whole loop below skips tag/span building.
+        traced = parent_ctx is not None and parent_ctx.sampled
         if self.allow_local and self.channel.ref.paths:
             local = self._try_local(invocation)
             if local is not None:
@@ -247,9 +306,18 @@ class TransportLayer:
                 return local
         if invocation.kind == InvocationKind.ANNOUNCEMENT:
             path = self._select_path(qos)[0]
+            span = NULL_SPAN
+            if traced:
+                span = tracer.span(
+                    "transport.post", "transport", parent_ctx,
+                    node=self.nucleus.node_address,
+                    tags={"to": path.node})
+            if span is not NULL_SPAN:
+                invocation.context.trace = span.context
             self.network.post(self.nucleus.node_address, path.node,
                               self._encode(invocation, path), kind="invoke")
             self.messages_sent += 1
+            span.finish()
             return None
 
         started = self.network.scheduler.now
@@ -267,6 +335,12 @@ class TransportLayer:
                 path.node, path.protocol) if resilient else None)
             if breaker is not None and not breaker.allow():
                 stats.breaker_short_circuits += 1
+                if traced:
+                    tracer.span(
+                        "resilience.breaker", "resilience", parent_ctx,
+                        node=self.nucleus.node_address,
+                        tags={"path": f"{path.node}/{path.protocol}"},
+                    ).finish(status="rejected")
                 if last_unreachable is None:
                     last_unreachable = NodeUnreachableError(
                         f"{invocation.operation}: circuit open for "
@@ -279,13 +353,50 @@ class TransportLayer:
                     raise DeadlineExceededError(
                         f"{invocation.operation}: deadline "
                         f"{qos.deadline_ms}ms exceeded before completion")
+                net_span = NULL_SPAN
                 try:
+                    # One span per network attempt, opened before
+                    # marshalling so the envelope carries *its* context:
+                    # the server span on the far side then nests under
+                    # the network leg.  Retries show up as sibling
+                    # net.request spans with increasing attempt tags.
+                    if traced:
+                        net_span = tracer.span(
+                            "net.request", "net", parent_ctx,
+                            node=self.nucleus.node_address,
+                            tags={"to": path.node, "attempt": attempt,
+                                  "protocol": path.protocol})
+                        if net_span is not NULL_SPAN:
+                            invocation.context.trace = net_span
+                    marshal_span = NULL_SPAN
+                    if traced and tracer.verbose:
+                        marshal_span = tracer.span(
+                            "ndr.marshal", "ndr", parent_ctx,
+                            node=self.nucleus.node_address,
+                            tags={"format": path.wire_format})
                     payload = self._encode(invocation, path)
+                    if marshal_span is not NULL_SPAN:
+                        marshal_span.tag("bytes", len(payload)).finish()
                     self.messages_sent += 1
                     reply = self.network.request(
                         self.nucleus.node_address, path.node, payload,
                         protocol=path.protocol)
+                    if net_span is not NULL_SPAN:
+                        transit = self.network.last_transit
+                        tags = net_span.tags
+                        tags["out_ms"] = transit.out_ms
+                        tags["back_ms"] = transit.back_ms
+                        tags["bytes_back"] = transit.bytes_back
+                        net_span.finish()
+                    unmarshal_span = NULL_SPAN
+                    if traced and tracer.verbose:
+                        unmarshal_span = tracer.span(
+                            "ndr.unmarshal", "ndr", parent_ctx,
+                            node=self.nucleus.node_address,
+                            tags={"format": path.wire_format})
                     termination = self._decode_reply(reply, path)
+                    if unmarshal_span is not NULL_SPAN:
+                        unmarshal_span.finish()
                     if breaker is not None:
                         breaker.record_success()
                     if deadline is not None and \
@@ -295,6 +406,7 @@ class TransportLayer:
                             f"the {qos.deadline_ms}ms deadline")
                     return termination
                 except MessageLostError as exc:
+                    net_span.finish(status="lost")
                     self.retries += 1
                     stats.retries += 1
                     last_lost = exc
@@ -314,12 +426,26 @@ class TransportLayer:
                         stats.backoff_wait_ms += delay
                     else:
                         delay = qos.retry_delay_ms
+                    backoff_span = NULL_SPAN
+                    if traced:
+                        backoff_span = tracer.span(
+                            "resilience.backoff", "resilience", parent_ctx,
+                            node=self.nucleus.node_address,
+                            tags={"delay_ms": delay})
                     self.network.scheduler.clock.advance(delay)
+                    backoff_span.finish()
                 except NodeUnreachableError as exc:
+                    net_span.tag(
+                        "error", type(exc).__name__
+                    ).finish(status="unreachable")
                     if breaker is not None:
                         breaker.record_failure()
                     last_unreachable = exc
                     break  # try the next access path
+                except Exception as exc:
+                    net_span.tag(
+                        "error", type(exc).__name__).finish(status="error")
+                    raise
             if index + 1 < len(paths):
                 stats.path_failovers += 1
                 self.path_failovers += 1

@@ -28,6 +28,9 @@ from repro.net.network import Network, NetworkNode
 from repro.resilience.breaker import BreakerRegistry
 from repro.resilience.dedup import ReplyCache
 from repro.resilience.stats import ResilienceStats
+from repro.trace.collector import NULL_COLLECTOR
+from repro.trace.context import TraceContext
+from repro.trace.span import NULL_SPAN
 
 #: Sentinel reply for undecodable requests (wire-format mismatch).
 FORMAT_ERROR_REPLY = b"!FORMAT-MISMATCH"
@@ -53,6 +56,7 @@ class Nucleus:
         #: every transport this node's capsules open.
         self.breakers = BreakerRegistry(network.scheduler.clock)
         self.resilience = ResilienceStats()
+        self._tracer = None
         node.on_request(self._handle_request)
         node.on_deliver("invoke", self._handle_announcement)
         node.on_deliver("ainvoke", self._handle_async_request)
@@ -62,6 +66,16 @@ class Nucleus:
     @property
     def node_address(self) -> str:
         return self.node.address
+
+    @property
+    def tracer(self):
+        """The domain's trace collector (a no-op one outside domains)."""
+        tracer = self._tracer
+        if tracer is None:
+            tracer = (self.domain.tracer if self.domain is not None
+                      else NULL_COLLECTOR)
+            self._tracer = tracer
+        return tracer
 
     def mint_interface_id(self) -> str:
         if self.domain is not None:
@@ -136,7 +150,7 @@ class Nucleus:
 
     @staticmethod
     def encode_context(context: InvocationContext) -> Dict[str, Any]:
-        return {
+        encoded = {
             "principal": context.principal,
             "credentials": dict(context.credentials),
             "transaction_id": context.transaction_id,
@@ -144,12 +158,40 @@ class Nucleus:
             "via_domains": list(context.via_domains),
             "extra": dict(context.extra),
         }
+        trace = context.trace
+        if trace is not None and trace.sampled and trace.trace_id:
+            encoded["trace"] = trace.to_wire()
+        return encoded
+
+    @staticmethod
+    def _wire_trace(envelope: Dict[str, Any]):
+        """Extract the caller's trace position from a request envelope."""
+        inv_obj = envelope.get("inv")
+        if not isinstance(inv_obj, dict):
+            fed = envelope.get("fedfwd")
+            inv_obj = fed.get("inv") if isinstance(fed, dict) else None
+        if not isinstance(inv_obj, dict):
+            return None, "request"
+        ctx_obj = inv_obj.get("ctx")
+        trace = (TraceContext.from_wire(ctx_obj.get("trace"))
+                 if isinstance(ctx_obj, dict) else None)
+        return trace, inv_obj.get("op", "request")
 
     def _handle_request(self, source: str, payload: bytes) -> bytes:
         try:
             envelope = self.wire.loads(payload)
         except MarshalError:
             return FORMAT_ERROR_REPLY
+
+        span = NULL_SPAN
+        trace_ctx = None
+        if b"trace" in payload:  # cheap pre-filter: no trace, no spans
+            trace_ctx, op = self._wire_trace(envelope)
+            if trace_ctx is not None:
+                span = self.tracer.span(f"server:{op}", "server",
+                                        trace_ctx,
+                                        node=self.node.address,
+                                        tags={"from": source})
 
         self.requests_handled += 1
         self.network.scheduler.clock.advance(self.processing_ms)
@@ -162,6 +204,7 @@ class Nucleus:
         if invocation_id:
             cached = self.reply_cache.lookup(invocation_id)
             if cached is not None:
+                span.tag("reply_cache", "hit").finish()
                 return cached
 
         capsule = self.capsules.get(envelope.get("capsule", ""))
@@ -170,34 +213,57 @@ class Nucleus:
                                "msg": f"no capsule "
                                       f"{envelope.get('capsule')!r} on "
                                       f"{self.node.address}"}}
+            span.tag("error", "stale").finish(status="error")
             return self.wire.dumps(reply)
 
         if "txctl" in envelope:
-            return self.wire.dumps(self._handle_txctl(capsule,
-                                                      envelope["txctl"]))
+            reply = self._handle_txctl(capsule, envelope["txctl"])
+            span.finish()
+            return self.wire.dumps(reply)
 
         if "fedfwd" in envelope:
             if self.domain is None:
                 reply = {"error": {"code": "federation",
                                    "msg": "node belongs to no domain"}}
             else:
-                reply = self.domain.handle_fedfwd(self, capsule,
-                                                  envelope["fedfwd"])
+                fed = envelope["fedfwd"]
+                if span.span is not None:
+                    # Re-parent the forwarded trail under our span, so
+                    # the gateway's own span nests causally beneath it.
+                    fed["inv"].setdefault("ctx", {})["trace"] = \
+                        span.context.to_wire()
+                reply = self.domain.handle_fedfwd(self, capsule, fed)
+            span.finish("error" if "error" in reply else "ok")
             return self.wire.dumps(reply)
 
         marshaller = self.marshaller_for(capsule)
         try:
+            unmarshal_span = NULL_SPAN
+            if span.span is not None and self.tracer.verbose:
+                unmarshal_span = self.tracer.span(
+                    "ndr.unmarshal", "ndr", span,
+                    node=self.node.address)
             invocation = self._decode_invocation(capsule, envelope["inv"])
+            if unmarshal_span is not NULL_SPAN:
+                unmarshal_span.finish()
+            # The executing side continues the trace from our span
+            # (keep the wire context when we collect nothing here).
+            if span.span is not None:
+                invocation.context.trace = span
+            elif trace_ctx is not None:
+                invocation.context.trace = trace_ctx
             termination = capsule.dispatch(invocation)
             reply = {"term": marshaller.marshal(termination)}
         except OdpError as exc:
             reply = {"error": encode_error(exc, marshaller)}
+            span.tag("error", type(exc).__name__)
         encoded = self.wire.dumps(reply)
         # Cache successful replies only: errors are regenerated so a
         # retry after the fault was repaired (relocation, lock release)
         # is not answered with a stale failure.
         if invocation_id and "term" in reply:
             self.reply_cache.store(invocation_id, encoded)
+        span.finish("ok" if "term" in reply else "error")
         return encoded
 
     def _handle_txctl(self, capsule, control: Dict[str, Any]
@@ -225,14 +291,26 @@ class Nucleus:
         reply_to = envelope.get("reply_to", "")
         if capsule is None or not reply_to:
             return
+        span = NULL_SPAN
+        trace_ctx, op = self._wire_trace(envelope)
+        if trace_ctx is not None:
+            span = self.tracer.span(f"server:{op}", "server", trace_ctx,
+                                    node=self.node.address,
+                                    tags={"kind": "async"})
         self.network.scheduler.clock.advance(self.processing_ms)
         marshaller = self.marshaller_for(capsule)
         try:
             invocation = self._decode_invocation(capsule, envelope["inv"])
+            if span.span is not None:
+                invocation.context.trace = span
+            elif trace_ctx is not None:
+                invocation.context.trace = trace_ctx
             termination = capsule.dispatch(invocation)
             reply = {"term": marshaller.marshal(termination)}
         except OdpError as exc:
             reply = {"error": encode_error(exc, marshaller)}
+            span.tag("error", type(exc).__name__)
+        span.finish("ok" if "term" in reply else "error")
         reply["call_id"] = envelope.get("call_id", "")
         try:
             reply_wire = get_format(
@@ -249,15 +327,28 @@ class Nucleus:
         except MarshalError:
             return
         self.announcements_handled += 1
+        span = NULL_SPAN
+        trace_ctx, op = self._wire_trace(envelope)
+        if trace_ctx is not None:
+            span = self.tracer.span(f"server:{op}", "server", trace_ctx,
+                                    node=self.node.address,
+                                    tags={"kind": "announcement"})
         self.network.scheduler.clock.advance(self.processing_ms)
         capsule = self.capsules.get(envelope.get("capsule", ""))
         if capsule is None:
+            span.finish(status="error")
             return
         try:
             invocation = self._decode_invocation(capsule, envelope["inv"])
+            if span.span is not None:
+                invocation.context.trace = span
+            elif trace_ctx is not None:
+                invocation.context.trace = trace_ctx
             capsule.dispatch(invocation)
+            span.finish()
         except OdpError:
-            pass  # announcements cannot report failure
+            span.finish(status="error")
+            # announcements cannot report failure
 
     def __repr__(self) -> str:
         return (f"Nucleus({self.node.address}, "

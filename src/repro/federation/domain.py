@@ -42,6 +42,7 @@ class Domain:
         self._passivation = None
         self._trader = None
         self._collector = None
+        self._tracer = None
 
     # -- structure -------------------------------------------------------------
 
@@ -197,6 +198,14 @@ class Domain:
             from repro.gc.collector import Collector
             self._collector = Collector(self)
         return self._collector
+
+    @property
+    def tracer(self):
+        """The domain's causal trace collector (section 7.4)."""
+        if self._tracer is None:
+            from repro.trace.collector import TraceCollector
+            self._tracer = TraceCollector(self.name, self.scheduler.clock)
+        return self._tracer
 
     # -- hooks used by the engine ---------------------------------------------------
 

@@ -30,6 +30,8 @@ from repro.engine.wire_errors import raise_error
 from repro.errors import FederationError, MarshalError, ProtocolMismatchError
 from repro.federation.naming import annotate_refs
 from repro.ndr.formats import get_format
+from repro.trace.context import TraceContext
+from repro.trace.span import NULL_SPAN
 
 
 class FederationClientLayer(ClientLayer):
@@ -69,9 +71,23 @@ class FederationClientLayer(ClientLayer):
         if invocation.context.origin_domain is None:
             invocation.context.origin_domain = self.domain.name
 
-        termination = forward_to_domain(
-            self.nucleus, self.capsule, federation, next_hop,
-            self.channel.ref, invocation)
+        span = self.nucleus.tracer.span(
+            "federation.forward", "federation", invocation.context.trace,
+            node=self.nucleus.node_address,
+            tags={"to_domain": target_domain, "next_hop": next_hop})
+        saved_trace = invocation.context.trace
+        if span is not NULL_SPAN:
+            invocation.context.trace = span.context
+        try:
+            termination = forward_to_domain(
+                self.nucleus, self.capsule, federation, next_hop,
+                self.channel.ref, invocation)
+        except Exception as exc:
+            span.tag("error", type(exc).__name__).finish(status="error")
+            raise
+        finally:
+            invocation.context.trace = saved_trace
+        span.finish()
         if termination is None:
             return Termination("ok", ())
         return termination
@@ -85,39 +101,53 @@ def forward_to_domain(nucleus, capsule, federation, hop_domain_name: str,
 
     hop_domain = federation.domain(hop_domain_name)
     marshaller = nucleus.marshaller_for(capsule)
+    tracer = nucleus.tracer
+    parent_trace = invocation.context.trace
     last_error = None
-    for gw_node, gw_capsule in hop_domain.gateways():
-        wire = get_format(federation.network.node(gw_node).native_format)
-        payload = wire.dumps({
-            "capsule": gw_capsule,
-            "fedfwd": {
-                "ref": marshaller.marshal(ref),
-                "inv": {
-                    "id": invocation.interface_id,
-                    "op": invocation.operation,
-                    "args": marshaller.marshal_args(invocation.args),
-                    "kind": invocation.kind.value,
-                    "epoch": invocation.epoch,
-                    "ctx": Nucleus.encode_context(invocation.context),
+    try:
+        for gw_node, gw_capsule in hop_domain.gateways():
+            span = tracer.span(
+                "net.request", "net", parent_trace,
+                node=nucleus.node_address,
+                tags={"to": gw_node, "hop_domain": hop_domain_name})
+            if span is not NULL_SPAN:
+                invocation.context.trace = span.context
+            wire = get_format(
+                federation.network.node(gw_node).native_format)
+            payload = wire.dumps({
+                "capsule": gw_capsule,
+                "fedfwd": {
+                    "ref": marshaller.marshal(ref),
+                    "inv": {
+                        "id": invocation.interface_id,
+                        "op": invocation.operation,
+                        "args": marshaller.marshal_args(invocation.args),
+                        "kind": invocation.kind.value,
+                        "epoch": invocation.epoch,
+                        "ctx": Nucleus.encode_context(invocation.context),
+                    },
                 },
-            },
-        })
-        try:
-            reply_bytes = federation.network.request(
-                nucleus.node_address, gw_node, payload)
-        except NodeUnreachableError as exc:
-            last_error = exc
-            continue
-        if reply_bytes == FORMAT_ERROR_REPLY:
-            raise ProtocolMismatchError(
-                f"gateway {gw_node} could not decode our message")
-        try:
-            reply = wire.loads(reply_bytes)
-        except MarshalError as exc:
-            raise ProtocolMismatchError(str(exc)) from exc
-        if "error" in reply:
-            raise_error(reply["error"], marshaller)
-        return marshaller.unmarshal(reply["term"])
+            })
+            try:
+                reply_bytes = federation.network.request(
+                    nucleus.node_address, gw_node, payload)
+            except NodeUnreachableError as exc:
+                span.finish(status="unreachable")
+                last_error = exc
+                continue
+            span.finish()
+            if reply_bytes == FORMAT_ERROR_REPLY:
+                raise ProtocolMismatchError(
+                    f"gateway {gw_node} could not decode our message")
+            try:
+                reply = wire.loads(reply_bytes)
+            except MarshalError as exc:
+                raise ProtocolMismatchError(str(exc)) from exc
+            if "error" in reply:
+                raise_error(reply["error"], marshaller)
+            return marshaller.unmarshal(reply["term"])
+    finally:
+        invocation.context.trace = parent_trace
     raise FederationError(
         f"no reachable gateway in domain {hop_domain_name}: {last_error}")
 
@@ -155,6 +185,7 @@ def gateway_process(domain, nucleus, capsule, marshaller,
         origin_domain=ctx_obj.get("origin_domain"),
         via_domains=via,
         extra=dict(ctx_obj.get("extra", {})),
+        trace=TraceContext.from_wire(ctx_obj.get("trace")),
     )
     invocation = Invocation(
         interface_id=inv_obj["id"],
@@ -167,20 +198,32 @@ def gateway_process(domain, nucleus, capsule, marshaller,
         epoch=inv_obj.get("epoch", 0),
     )
 
+    gw_span = domain.tracer.span(
+        "federation.gateway", "federation", invocation.context.trace,
+        node=nucleus.node_address,
+        tags={"domain": domain.name, "from_domain": from_domain})
+    if gw_span is not NULL_SPAN:
+        invocation.context.trace = gw_span.context
+
     target_domain = federation.domain_of_ref(ref)
-    if target_domain == domain.name:
-        termination = _deliver_locally(domain, nucleus, capsule, ref,
-                                       invocation)
-    else:
-        route = federation.route(domain.name, target_domain)
-        next_hop = route[1]
-        egress = federation.link_between(domain.name, next_hop)
-        egress.check_egress(invocation.context.principal,
-                            invocation.operation)
-        egress.crossings += 1
-        invocation.context.via_domains = via + (domain.name,)
-        termination = forward_to_domain(nucleus, capsule, federation,
-                                        next_hop, ref, invocation)
+    try:
+        if target_domain == domain.name:
+            termination = _deliver_locally(domain, nucleus, capsule, ref,
+                                           invocation)
+        else:
+            route = federation.route(domain.name, target_domain)
+            next_hop = route[1]
+            egress = federation.link_between(domain.name, next_hop)
+            egress.check_egress(invocation.context.principal,
+                                invocation.operation)
+            egress.crossings += 1
+            invocation.context.via_domains = via + (domain.name,)
+            termination = forward_to_domain(nucleus, capsule, federation,
+                                            next_hop, ref, invocation)
+    except Exception as exc:
+        gw_span.tag("error", type(exc).__name__).finish(status="error")
+        raise
+    gw_span.finish()
     if termination is None:
         termination = Termination("ok", ())
     # Context-relative naming on the way out (section 6).

@@ -24,6 +24,8 @@ from repro.comp.model import OdpObject
 from repro.comp.outcomes import Signal
 from repro.comp.reference import InterfaceRef
 from repro.errors import FederationError
+from repro.trace.context import current_trace
+from repro.trace.span import NULL_SPAN
 from repro.types.signature import InterfaceSignature
 
 
@@ -53,9 +55,24 @@ class ForeignRepresentative(OdpObject):
             self.forwarded += 1
             kind = (InvocationKind.ANNOUNCEMENT if announcement
                     else InvocationKind.INTERROGATION)
-            termination = self._channel.invoke(
-                op_name, args, kind=kind,
-                context=self._context_factory())
+            context = self._context_factory()
+            nucleus = self._channel.client_nucleus
+            # The representative runs inside the gateway's dispatch, so
+            # the forwarding leg continues the ambient (incoming) trace.
+            span = nucleus.tracer.span(
+                "federation.proxy", "federation", current_trace(),
+                node=nucleus.node_address,
+                tags={"op": op_name,
+                      "foreign": self._foreign_ref.interface_id})
+            if span is not NULL_SPAN:
+                context.trace = span.context
+            try:
+                termination = self._channel.invoke(
+                    op_name, args, kind=kind, context=context)
+            except Exception as exc:
+                span.tag("error", type(exc).__name__).finish(status="error")
+                raise
+            span.finish()
             if announcement or termination is None:
                 return None
             if not termination.ok:

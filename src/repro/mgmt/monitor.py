@@ -116,6 +116,29 @@ class TransparencyMonitor:
                 "suspicions": domain.groups.suspicions,
             }
         report["resilience"] = self.resilience_report()
+        if domain._tracer is not None:
+            report["trace"] = self.trace_report()
+        return report
+
+    def trace_report(self) -> Dict[str, Any]:
+        """Causal-tracing snapshot: collector counters plus the
+        per-layer span counts and latency distributions."""
+        tracer = self.domain.tracer
+        report: Dict[str, Any] = tracer.stats()
+        layers: Dict[str, Any] = {}
+        snapshot = tracer.metrics.snapshot()
+        for name, value in snapshot.get("counters", {}).items():
+            if name.startswith("layer.") and name.endswith(".spans"):
+                layer = name[len("layer."):-len(".spans")]
+                layers.setdefault(layer, {})["spans"] = value
+        for name, value in snapshot.get("histograms", {}).items():
+            if name.startswith("layer.") and name.endswith(".ms"):
+                layer = name[len("layer."):-len(".ms")]
+                entry = layers.setdefault(layer, {})
+                entry["total_ms"] = value["sum"]
+                entry["mean_ms"] = (value["sum"] / value["count"]
+                                    if value["count"] else 0.0)
+        report["layers"] = layers
         return report
 
     def resilience_report(self) -> Dict[str, Any]:
@@ -131,6 +154,7 @@ class TransparencyMonitor:
             "breakers_open": 0,
             "duplicates_suppressed": 0,
             "replies_cached": 0,
+            "reply_cache_evictions": 0,
         }
         for nucleus in self.domain.nuclei.values():
             stats = nucleus.resilience
@@ -146,6 +170,7 @@ class TransparencyMonitor:
             cache = nucleus.reply_cache
             totals["duplicates_suppressed"] += cache.duplicates_suppressed
             totals["replies_cached"] += cache.replies_cached
+            totals["reply_cache_evictions"] += cache.evictions
         return totals
 
     def network_report(self) -> Dict[str, Any]:

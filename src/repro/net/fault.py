@@ -271,6 +271,8 @@ class FaultSchedule:
     """
 
     def __init__(self, *windows) -> None:
+        for window in windows:
+            self._validate_window(window)
         self.windows: List[object] = list(windows)
         self._transitions: Optional[
             List[Tuple[float, int, Callable[[FaultPlan], None]]]] = None
@@ -278,10 +280,33 @@ class FaultSchedule:
         #: Window transitions applied so far (enter + exit).
         self.activations = 0
 
+    @staticmethod
+    def _validate_window(window) -> None:
+        """Reject malformed windows up front, not at sync time.
+
+        A negative boundary or an end before its start would silently
+        compile into transitions that never fire (or fire immediately),
+        which makes a chaos scenario lie about what it injected.
+        """
+        start = getattr(window, "start_ms", None)
+        end = getattr(window, "end_ms", None)
+        if start is not None and start < 0:
+            raise ValueError(
+                f"{type(window).__name__}: start_ms {start} is negative")
+        if end is not None:
+            if end < 0:
+                raise ValueError(
+                    f"{type(window).__name__}: end_ms {end} is negative")
+            if start is not None and end < start:
+                raise ValueError(
+                    f"{type(window).__name__}: end_ms {end} precedes "
+                    f"start_ms {start}")
+
     def add(self, window) -> "FaultSchedule":
         if self._transitions is not None:
             raise RuntimeError("schedule already attached; add windows "
                                "before attaching")
+        self._validate_window(window)
         self.windows.append(window)
         return self
 

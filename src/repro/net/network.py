@@ -40,6 +40,21 @@ class NodeStats:
     bytes_received: int = 0
 
 
+@dataclass
+class TransitRecord:
+    """Leg timings of the most recent synchronous round trip.
+
+    The transport reads this right after :meth:`Network.request` returns
+    to attribute the network span's time to wire legs vs server work.
+    """
+
+    out_ms: float = 0.0
+    server_ms: float = 0.0
+    back_ms: float = 0.0
+    bytes_out: int = 0
+    bytes_back: int = 0
+
+
 class NetworkNode:
     """A host on the simulated network.
 
@@ -91,6 +106,8 @@ class Network:
         self.protocol_latency: Dict[str, LatencyModel] = {}
         self.total_messages = 0
         self.total_bytes = 0
+        #: Leg timings of the last completed request() round trip.
+        self.last_transit = TransitRecord()
 
     def register_protocol(self, name: str,
                           latency: LatencyModel) -> None:
@@ -165,16 +182,20 @@ class Network:
         # Outbound leg.
         self._check_leg(source, destination)
         self._account(source, destination, len(payload))
-        self.scheduler.clock.advance(
-            self._leg_delay(latency, source, destination, len(payload)))
+        out_ms = self._leg_delay(latency, source, destination, len(payload))
+        self.scheduler.clock.advance(out_ms)
 
+        before_server = self.scheduler.now
         reply = dst.request_handler(source, payload)
+        server_ms = self.scheduler.now - before_server
 
         # Return leg (faults may have arisen while the server worked).
         self._check_leg(destination, source)
         self._account(destination, source, len(reply))
-        self.scheduler.clock.advance(
-            self._leg_delay(latency, destination, source, len(reply)))
+        back_ms = self._leg_delay(latency, destination, source, len(reply))
+        self.scheduler.clock.advance(back_ms)
+        self.last_transit = TransitRecord(out_ms, server_ms, back_ms,
+                                          len(payload), len(reply))
         return reply
 
     # -- asynchronous one-way delivery ---------------------------------------

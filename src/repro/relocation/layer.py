@@ -61,11 +61,14 @@ class RelocationLayer(ClientLayer):
         if hint is not None and hint.interface_id == \
                 self.channel.ref.interface_id:
             new_ref = hint
+            source = "hint"
             self.hint_repairs += 1
         else:
             new_ref = self.relocator.lookup(self.channel.ref.interface_id)
+            source = "lookup"
             self.lookup_repairs += 1
         self.repairs += 1
+        self._trace_repair(invocation, source, new_ref)
         self.channel.rebind(new_ref)
         invocation.interface_id = new_ref.interface_id
         invocation.epoch = new_ref.epoch
@@ -81,7 +84,22 @@ class RelocationLayer(ClientLayer):
             return False
         self.repairs += 1
         self.lookup_repairs += 1
+        self._trace_repair(invocation, "unreachable-lookup", candidate)
         self.channel.rebind(candidate)
         invocation.interface_id = candidate.interface_id
         invocation.epoch = candidate.epoch
         return True
+
+    def _trace_repair(self, invocation: Invocation, source: str,
+                      new_ref) -> None:
+        """Record one binding chase as a zero-duration span."""
+        nucleus = getattr(self.channel, "client_nucleus", None)
+        if nucleus is None:
+            return
+        nucleus.tracer.span(
+            "relocation.repair", "relocation", invocation.context.trace,
+            node=nucleus.node_address,
+            tags={"source": source,
+                  "interface": new_ref.interface_id,
+                  "epoch": new_ref.epoch},
+        ).finish()

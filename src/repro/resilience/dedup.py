@@ -57,6 +57,16 @@ class ReplyCache:
             self._replies.popitem(last=False)
             self.evictions += 1
 
+    def stats(self) -> dict:
+        """Counter snapshot for the management monitor."""
+        return {
+            "entries": len(self._replies),
+            "capacity": self.capacity,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "replies_cached": self.replies_cached,
+            "evictions": self.evictions,
+        }
+
     def clear(self) -> None:
         self._replies.clear()
 

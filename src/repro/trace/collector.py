@@ -1,0 +1,299 @@
+"""The per-domain trace collector.
+
+Owns everything stateful about tracing in one domain:
+
+* **id minting** — trace and span ids come from counters prefixed with
+  the domain name, so they are unique across a federation and
+  identical across identically-seeded runs (no RNG draws, no wall
+  clock);
+* **head-based sampling** — the keep/drop decision is made once per
+  trace at the root, by a deterministic accumulator (``sampling=0.5``
+  keeps exactly every other trace), and travels with the context;
+* **the ring buffer** — finished spans land in a bounded ring; when it
+  overflows, the oldest span is dropped and counted, never the newest;
+* **analysis views** — span trees, critical-path extraction, per-layer
+  self-time breakdowns, and a flame-style text renderer.  Per-layer
+  span durations also feed fixed-bucket histograms in a
+  :class:`~repro.trace.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.trace.context import UNSAMPLED, TraceContext
+from repro.trace.metrics import MetricsRegistry
+from repro.trace.span import NULL_SPAN, Span
+
+
+class SpanNode:
+    """One span plus its children, assembled by :meth:`forest`."""
+
+    __slots__ = ("span", "children")
+
+    def __init__(self, span: Span) -> None:
+        self.span = span
+        self.children: List["SpanNode"] = []
+
+    @property
+    def self_ms(self) -> float:
+        """Duration not explained by child spans (clamped at zero)."""
+        childless = self.span.duration_ms - sum(
+            child.span.duration_ms for child in self.children)
+        return childless if childless > 0.0 else 0.0
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class TraceCollector:
+    """Bounded, sampled span store for one domain."""
+
+    def __init__(self, domain_name: str, clock,
+                 capacity: int = 16384, sampling: float = 1.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.domain_name = domain_name
+        self.clock = clock
+        self.capacity = capacity
+        self.sampling = sampling
+        #: Also record zero-virtual-duration point spans (marshalling,
+        #: unmarshalling).  Off by default: they never advance the
+        #: virtual clock, so they add nothing to a latency breakdown,
+        #: but they triple the span count of a plain remote call.
+        self.verbose = False
+        self._metrics = MetricsRegistry()
+        self._spans: "deque[Span]" = deque(maxlen=capacity)
+        self._cleared = 0
+        self._trace_seq = 0
+        self._span_seq = 0
+        self._sample_accum = 0.0
+        #: (layer, duration) of finished spans not yet folded into the
+        #: registry — one list append on the hot path, histogram/bucket
+        #: work deferred to the first metrics read.
+        self._pending: List[tuple] = []
+        #: (counter, histogram) per layer — avoids two registry lookups
+        #: plus key formatting on every flush entry.
+        self._layer_metrics: Dict[str, tuple] = {}
+        self.traces_started = 0
+        self.traces_sampled = 0
+        self.spans_recorded = 0
+
+    @property
+    def sampling(self) -> float:
+        return self._sampling
+
+    @sampling.setter
+    def sampling(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("sampling rate must be in [0, 1]")
+        self._sampling = rate
+
+    # -- recording ----------------------------------------------------------
+
+    def start_trace(self, baggage: Optional[Dict[str, str]] = None
+                    ) -> TraceContext:
+        """Root of a new causal chain; the head sampling decision."""
+        self.traces_started += 1
+        self._sample_accum += self._sampling
+        if self._sample_accum < 1.0 - 1e-12:
+            return UNSAMPLED
+        self._sample_accum -= 1.0
+        self.traces_sampled += 1
+        self._trace_seq += 1
+        return TraceContext(
+            f"T{self._trace_seq}@{self.domain_name}", "",
+            parent_span_id=None, sampled=True,
+            baggage=dict(baggage) if baggage else None)
+
+    def span(self, name: str, layer: str,
+             parent, node: str = "",
+             tags: Optional[Dict[str, Any]] = None):
+        """Open a child span under *parent* (no-op when unsampled).
+
+        *parent* is a :class:`TraceContext` (from the wire or a trace
+        root) or another :class:`Span` — both expose the same surface.
+        The returned Span is its own handle and context.
+        """
+        if parent is None or not parent.sampled:
+            return NULL_SPAN
+        self._span_seq += 1
+        # clock._now: the property indirection is measurable at two
+        # reads per span on the C17 hot path.
+        return Span(self, parent.trace_id,
+                    f"S{self._span_seq}@{self.domain_name}",
+                    parent.span_id or None, name, layer, node,
+                    self.clock._now, tags, parent.baggage)
+
+    @property
+    def spans_dropped(self) -> int:
+        """Spans pushed out of the full ring (oldest-first)."""
+        return self.spans_recorded - self._cleared - len(self._spans)
+
+    # -- metrics --------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry, with every finished span folded in."""
+        pending = self._pending
+        if pending:
+            self._pending = []
+            layer_metrics = self._layer_metrics
+            for layer, duration in pending:
+                pair = layer_metrics.get(layer)
+                if pair is None:
+                    pair = (self._metrics.counter(f"layer.{layer}.spans"),
+                            self._metrics.histogram(f"layer.{layer}.ms"))
+                    layer_metrics[layer] = pair
+                pair[0].value += 1
+                pair[1].observe(duration)
+        return self._metrics
+
+    # -- retrieval ----------------------------------------------------------
+
+    def spans(self, trace_id: Optional[str] = None) -> List[Span]:
+        if trace_id is None:
+            return list(self._spans)
+        return [span for span in self._spans if span.trace_id == trace_id]
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids in first-recorded order."""
+        seen: Dict[str, None] = {}
+        for span in self._spans:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    # -- analysis -----------------------------------------------------------
+
+    def forest(self, trace_id: str) -> List[SpanNode]:
+        """Assemble this collector's spans for a trace into trees.
+
+        Spans whose parent was recorded in *another* domain's collector
+        (the far side of a federation boundary) become local roots, so
+        a partial view still renders.
+        """
+        nodes = {span.span_id: SpanNode(span)
+                 for span in self.spans(trace_id)}
+        roots: List[SpanNode] = []
+        for span in self.spans(trace_id):
+            node = nodes[span.span_id]
+            parent = (nodes.get(span.parent_span_id)
+                      if span.parent_span_id else None)
+            if parent is None:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        for node in nodes.values():
+            node.children.sort(
+                key=lambda child: (child.span.start_ms,
+                                   child.span.span_id))
+        roots.sort(key=lambda root: (root.span.start_ms,
+                                     root.span.span_id))
+        return roots
+
+    def tree(self, trace_id: str) -> Optional[SpanNode]:
+        roots = self.forest(trace_id)
+        return roots[0] if roots else None
+
+    def critical_path(self, trace_id: str) -> List[Span]:
+        """Root-to-leaf chain through the latest-finishing child."""
+        node = self.tree(trace_id)
+        path: List[Span] = []
+        while node is not None:
+            path.append(node.span)
+            if not node.children:
+                break
+            # Latest finish wins; on a tie the earlier start (the
+            # longer, enclosing span) is the true critical segment.
+            node = max(node.children,
+                       key=lambda child: (child.span.end_ms or 0.0,
+                                          -child.span.start_ms))
+        return path
+
+    def breakdown(self, trace_id: str) -> Dict[str, float]:
+        """Virtual self-time attributed to each layer, for one trace.
+
+        Summing the values reproduces the root spans' total duration
+        (children are nested and sequential), which is the no-gaps
+        property benchmark C17 asserts.
+        """
+        layer_ms: Dict[str, float] = {}
+        for root in self.forest(trace_id):
+            for node in root.walk():
+                layer = node.span.layer
+                layer_ms[layer] = layer_ms.get(layer, 0.0) + node.self_ms
+        return layer_ms
+
+    def layer_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Self-time per layer aggregated over every retained trace."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for trace_id in self.trace_ids():
+            for root in self.forest(trace_id):
+                for node in root.walk():
+                    entry = totals.setdefault(
+                        node.span.layer, {"spans": 0, "self_ms": 0.0})
+                    entry["spans"] += 1
+                    entry["self_ms"] += node.self_ms
+        return totals
+
+    def render(self, trace_id: str, include_tags: bool = True) -> str:
+        """Flame-style indented text view of one trace."""
+        lines: List[str] = [f"trace {trace_id}"]
+
+        def emit(node: SpanNode, depth: int) -> None:
+            span = node.span
+            tags = ""
+            if include_tags and span.tags:
+                tags = "  {" + ", ".join(
+                    f"{key}={span.tags[key]!r}"
+                    for key in sorted(span.tags)) + "}"
+            status = "" if span.status == "ok" else f" !{span.status}"
+            lines.append(
+                f"{'  ' * depth}{span.name} [{span.layer}] "
+                f"{span.duration_ms:.3f}ms "
+                f"(self {node.self_ms:.3f}ms){status}{tags}")
+            for child in node.children:
+                emit(child, depth + 1)
+
+        for root in self.forest(trace_id):
+            emit(root, 1)
+        return "\n".join(lines)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "sampling": self._sampling,
+            "traces_started": self.traces_started,
+            "traces_sampled": self.traces_sampled,
+            "spans_recorded": self.spans_recorded,
+            "spans_dropped": self.spans_dropped,
+            "spans_retained": len(self._spans),
+        }
+
+    def clear(self) -> None:
+        self._cleared += len(self._spans)
+        self._spans.clear()
+
+    def __repr__(self) -> str:
+        return (f"TraceCollector({self.domain_name}, "
+                f"{len(self._spans)}/{self.capacity} spans, "
+                f"sampling={self._sampling})")
+
+
+class NullCollector:
+    """Tracer for nuclei outside any domain: records nothing."""
+
+    metrics = MetricsRegistry()
+    sampling = 0.0
+    verbose = False
+
+    def start_trace(self, baggage=None) -> TraceContext:
+        return UNSAMPLED
+
+    def span(self, name, layer, parent, node="", tags=None):
+        return NULL_SPAN
+
+
+NULL_COLLECTOR = NullCollector()

@@ -1,0 +1,127 @@
+"""Spans: one timed unit of work in one engineering layer.
+
+Timestamps are virtual milliseconds read from the deterministic clock,
+so a span's duration is exactly the virtual time the platform charged
+while it was open — tracing itself never advances the clock.
+
+A live :class:`Span` is three things at once, on purpose:
+
+* the **record** that lands in the collector's ring when finished,
+* the **handle** the instrumented layer tags and finishes, and
+* the **trace context** child spans (and the wire) parent from — it
+  exposes the same ``trace_id`` / ``span_id`` / ``sampled`` / ``baggage``
+  surface as :class:`~repro.trace.context.TraceContext` plus
+  ``to_wire``.
+
+Folding the three roles into one object keeps a span open+close to a
+single allocation, which is what holds the C17 full-sampling overhead
+budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.trace.context import UNSAMPLED
+
+
+class Span:
+    """An open (or finished) span; also its own handle and context."""
+
+    __slots__ = ("_collector", "trace_id", "span_id", "parent_span_id",
+                 "name", "layer", "node", "start_ms", "end_ms", "status",
+                 "tags", "baggage")
+
+    #: Any live Span belongs to a sampled trace by construction (the
+    #: collector returns NULL_SPAN otherwise).
+    sampled = True
+
+    def __init__(self, collector, trace_id: str, span_id: str,
+                 parent_span_id: Optional[str], name: str, layer: str,
+                 node: str, start_ms: float,
+                 tags: Optional[Dict[str, Any]] = None,
+                 baggage: Optional[Dict[str, str]] = None) -> None:
+        self._collector = collector
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_span_id = parent_span_id
+        self.name = name
+        self.layer = layer
+        self.node = node
+        self.start_ms = start_ms
+        self.end_ms: Optional[float] = None
+        self.status = "open"
+        self.tags: Dict[str, Any] = tags if tags is not None else {}
+        self.baggage = baggage
+
+    # -- context-compatible surface ------------------------------------------
+
+    @property
+    def context(self) -> "Span":
+        """The trace position nested work parents from: this span."""
+        return self
+
+    @property
+    def span(self) -> "Span":
+        """The record (``None`` on :data:`NULL_SPAN` — the guard idiom)."""
+        return self
+
+    def to_wire(self) -> str:
+        if self.baggage:
+            bag = ";".join(f"{key}={value}" for key, value
+                           in sorted(self.baggage.items()))
+            return f"{self.trace_id}|{self.span_id}|{bag}"
+        return f"{self.trace_id}|{self.span_id}"
+
+    # -- handle surface -------------------------------------------------------
+
+    def tag(self, key: str, value) -> "Span":
+        self.tags[key] = value
+        return self
+
+    def finish(self, status: str = "ok") -> "Span":
+        # Idempotent: error paths may finish a span that a later shared
+        # handler would finish again; only the first status is recorded.
+        collector, self._collector = self._collector, None
+        if collector is not None:
+            end = collector.clock._now
+            self.end_ms = end
+            self.status = status
+            collector._spans.append(self)  # maxlen ring drops the oldest
+            collector.spans_recorded += 1
+            collector._pending.append((self.layer, end - self.start_ms))
+        return self
+
+    # -- record surface -------------------------------------------------------
+
+    @property
+    def duration_ms(self) -> float:
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name} [{self.layer}] {self.span_id} "
+                f"{self.duration_ms:.3f}ms {self.status})")
+
+
+class NullSpan:
+    """No-op span returned for unsampled traces (and traceless nodes).
+
+    A single shared instance keeps the not-sampled fast path at a few
+    attribute lookups — this is what makes sampling=0 essentially free.
+    """
+
+    __slots__ = ()
+
+    context = UNSAMPLED
+    span = None
+
+    def tag(self, key: str, value) -> "NullSpan":
+        return self
+
+    def finish(self, status: str = "ok") -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()

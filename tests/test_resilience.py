@@ -462,3 +462,52 @@ class TestMonitorSurface:
         assert report["breaker_rejections"] >= 1
         assert report["breakers_open"] >= 1
         assert report["breaker_short_circuits"] >= 1
+
+
+class TestReplyCacheBound:
+    def test_churn_respects_capacity_and_counts_evictions(self):
+        from repro.resilience import ReplyCache
+        cache = ReplyCache(capacity=8)
+        for index in range(100):
+            cache.store(f"inv-{index}", b"reply")
+        assert len(cache) == 8
+        assert cache.evictions == 92
+        assert cache.lookup("inv-0") is None      # evicted long ago
+        assert cache.lookup("inv-99") == b"reply"  # newest retained
+        stats = cache.stats()
+        assert stats["entries"] == 8
+        assert stats["evictions"] == 92
+
+    def test_evictions_reach_the_domain_report(self):
+        world, servers, clients = two_node_world(seed=1)
+        world.nucleus("s").reply_cache.capacity = 2
+        proxy = world.binder_for(clients).bind(servers.export(Counter()))
+        for _ in range(5):
+            proxy.increment()
+        report = TransparencyMonitor(
+            world.domain("org")).domain_report()["resilience"]
+        assert report["reply_cache_evictions"] == 3
+
+
+class TestFaultScheduleValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="start_ms -5 is negative"):
+            FaultSchedule(CrashWindow("n", start_ms=-5))
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError, match="precedes start_ms"):
+            FaultSchedule(FlakyWindow(start_ms=10, end_ms=5, drop=0.5))
+
+    def test_negative_end_rejected(self):
+        with pytest.raises(ValueError, match="end_ms -1 is negative"):
+            FaultSchedule(GrayWindow(start_ms=0, end_ms=-1, factor=2.0,
+                                     source="a", destination="b"))
+
+    def test_add_validates_too(self):
+        schedule = FaultSchedule()
+        with pytest.raises(ValueError):
+            schedule.add(CrashWindow("n", start_ms=3, end_ms=1))
+        # Open-ended and well-ordered windows remain fine.
+        schedule.add(CrashWindow("n", start_ms=3))
+        schedule.add(FlakyWindow(start_ms=0, end_ms=0, drop=0.1))
+        assert len(schedule.windows) == 2
