@@ -1,0 +1,529 @@
+"""The chaos explorer: one seed in, one fully-recorded run out.
+
+``run_plan`` builds a fresh simulated :class:`~repro.runtime.World`
+(three server nodes, one client node), populates it with the reference
+workload objects, attaches the plan's chaos windows, then executes the
+plan's operations one per virtual-time slot.  Everything observable is
+recorded: per-op outcomes into a :class:`~repro.check.history.History`,
+client-side models for the oracles, and an end-of-run state snapshot
+folded into the run digest.
+
+The run is a pure function of ``(plan, config)``: the world is seeded
+from the plan's seed and nothing here consults wall clocks, process
+randomness or iteration order of unsorted collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.check.history import History, digest_run
+from repro.check.plan import (
+    CLIENT_NODE,
+    SERVER_NODES,
+    Plan,
+    generate_plan,
+)
+from repro.check.workload import Account, Counter, KvStore
+from repro.comp.constraints import EnvironmentConstraints, ReplicationSpec
+from repro.comp.interface import InterfaceState
+from repro.comp.invocation import QoS
+from repro.comp.outcomes import Signal
+from repro.errors import OdpError
+from repro.net.fault import FaultSchedule
+from repro.resilience.dedup import ReplyCache
+from repro.runtime import World
+from repro.tx.transaction import TxState
+from repro.tx.versions import VersionStore
+
+#: Known platform mutations (oracle-sensitivity switches): name ->
+#: (class, flag attribute).  Each silently breaks one guarantee; the
+#: matching oracle must catch it or the harness is decorative.
+MUTATIONS: Dict[str, Tuple[type, str]] = {
+    "replycache": (ReplyCache, "mutate_skip_lookup"),
+    "txversions": (VersionStore, "mutate_skip_restore"),
+}
+
+_DOMAIN = "check"
+_ALL_NODES = SERVER_NODES + (CLIENT_NODE,)
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Tunable knobs of one exploration; defaults fit CI budgets."""
+
+    ops: int = 60
+    counters: int = 2
+    accounts: int = 3
+    initial_balance: int = 100
+    group_size: int = 3
+    reply_quorum: int = 2
+    retries: int = 8
+    deadline_ms: float = 400.0
+    #: Virtual ms the clock is advanced before each op; also the unit
+    #: the plan generator uses to aim chaos windows at the op timeline.
+    op_budget_ms: float = 25.0
+    max_windows: int = 4
+    #: Active platform mutations (keys of :data:`MUTATIONS`).
+    mutations: Tuple[str, ...] = ()
+
+    def with_mutations(self, *names: str) -> "CheckConfig":
+        for name in names:
+            if name not in MUTATIONS:
+                raise ValueError(f"unknown mutation {name!r}; "
+                                 f"known: {sorted(MUTATIONS)}")
+        return replace(self, mutations=tuple(names))
+
+
+@dataclass
+class RunResult:
+    """Everything the oracles (and the CLI) need to judge one run."""
+
+    plan: Plan
+    config: CheckConfig
+    events: List[Dict[str, Any]]
+    end_state: Dict[str, Any]
+    digest: str
+    #: name -> {"acked": n, "ambiguous": n} for every counter.
+    counters: Dict[str, Dict[str, int]]
+    counter_final: Dict[str, Optional[int]]
+    #: Client-side account model (committed transfers applied).
+    accounts_model: Dict[str, int]
+    accounts_final: Dict[str, Optional[int]]
+    #: True when any transaction finished with in-doubt participants.
+    had_indoubt: bool
+    #: Money that may legally be missing/duplicated due to in-doubt 2PC.
+    indoubt_allowance: int
+    #: Interface ids whose in-doubt outcome could not be re-delivered.
+    unresolved_iids: List[str]
+    #: key -> ordered [(value, acked)] group-write ledger.
+    group_writes: Dict[str, List[Tuple[str, bool]]]
+    group_final: Dict[str, Optional[str]]
+    #: Per-member end state: index, alive, out_of_sync, data (or None).
+    member_states: List[Dict[str, Any]]
+    #: Per-surviving-object relocation probe:
+    #: {obj, expected_node, resolved_node, final_ok}.
+    relocation_probes: List[Dict[str, Any]]
+    #: Per-collected-interface snapshot taken just before its sweep:
+    #: {iid, state, live_lease}.
+    gc_observations: List[Dict[str, Any]]
+    #: Object names legally reclaimed by the collector.
+    collected: List[str]
+    #: Minimal span records for the clock oracle.
+    spans: List[Dict[str, Any]]
+    violations: list = field(default_factory=list)
+
+
+class _PlanAbort(Exception):
+    """Deliberate client-side abort injected by ``cancel_transfer``."""
+
+
+def _apply_mutations(names) -> List[Tuple[type, str, bool]]:
+    applied = []
+    for name in names:
+        cls, attr = MUTATIONS[name]
+        applied.append((cls, attr, getattr(cls, attr)))
+        setattr(cls, attr, True)
+    return applied
+
+
+def _revert_mutations(applied) -> None:
+    for cls, attr, prior in applied:
+        setattr(cls, attr, prior)
+
+
+class _Run:
+    """One in-flight execution of a plan (all the mutable bookkeeping)."""
+
+    def __init__(self, plan: Plan, config: CheckConfig) -> None:
+        self.plan = plan
+        self.config = config
+        self.history = History()
+        self.world = World(seed=plan.seed)
+        self.domain = self.world.domain(_DOMAIN)
+        for node in SERVER_NODES:
+            self.world.node(_DOMAIN, node)
+        self.world.node(_DOMAIN, CLIENT_NODE)
+        self.srv = {node: self.world.capsule(node, "srv")
+                    for node in SERVER_NODES}
+        self.app = self.world.capsule(CLIENT_NODE, "app")
+        self.binder = self.world.binder_for(self.app)
+        self.qos = QoS(deadline_ms=config.deadline_ms,
+                       retries=config.retries)
+
+        self.locations: Dict[str, str] = {}
+        self.proxies: Dict[str, Any] = {}
+        self.collected: set = set()
+        self.counters: Dict[str, Dict[str, int]] = {}
+        self.accounts_model: Dict[str, int] = {}
+        self.had_indoubt = False
+        self.indoubt_allowance = 0
+        self.indoubt_txs: list = []
+        self.group_writes: Dict[str, List[Tuple[str, bool]]] = {}
+        self.gc_observations: List[Dict[str, Any]] = []
+
+        for i in range(config.counters):
+            self._place(f"c{i}", Counter(),
+                        EnvironmentConstraints())
+            self.counters[f"c{i}"] = {"acked": 0, "ambiguous": 0}
+        for i in range(config.accounts):
+            self._place(f"a{i}", Account(config.initial_balance),
+                        EnvironmentConstraints(concurrency=True))
+            self.accounts_model[f"a{i}"] = config.initial_balance
+
+        spec = ReplicationSpec(replicas=config.group_size,
+                               policy="active",
+                               reply_quorum=config.reply_quorum)
+        self.group, gref = self.domain.groups.create(
+            KvStore, [self.srv[node] for node in SERVER_NODES],
+            spec, group_id="check.kv")
+        self.gproxy = self.binder.bind(gref, qos=self.qos)
+
+        self.schedule = FaultSchedule(*plan.windows)
+        if plan.windows:
+            self.world.apply_chaos(self.schedule)
+            self.schedule.install(self.world.scheduler, self.world.faults)
+
+    def _place(self, name: str, implementation, constraints) -> None:
+        node = SERVER_NODES[len(self.locations) % len(SERVER_NODES)]
+        ref = self.srv[node].export(implementation,
+                                    constraints=constraints,
+                                    interface_id=f"check.{name}")
+        self.locations[name] = node
+        self.proxies[name] = self.binder.bind(ref, qos=self.qos)
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _attempt(fn, *args, **kwargs) -> Tuple[str, Any]:
+        """Run a proxy call; fold every outcome into (label, value)."""
+        try:
+            return "ok", fn(*args, **kwargs)
+        except Signal as exc:
+            return f"signal:{exc.name}", None
+        except OdpError as exc:
+            return f"failed:{type(exc).__name__}", None
+
+    def _counter_name(self, op) -> str:
+        return f"c{op.get('counter', 0) % self.config.counters}"
+
+    def _object_name(self, op) -> Optional[str]:
+        name = op.get("obj")
+        if name in self.locations:
+            return name
+        return None
+
+    # -- op execution --------------------------------------------------------
+
+    def execute(self, index: int, op) -> None:
+        t0 = self.world.now
+        handler = getattr(self, f"_op_{op.kind}")
+        outcome, detail = handler(op)
+        self.history.record(index, repr(op), outcome, detail,
+                            t0, self.world.now)
+
+    def _op_invoke(self, op):
+        name = self._counter_name(op)
+        outcome, value = self._attempt(self.proxies[name].increment)
+        if outcome == "ok":
+            self.counters[name]["acked"] += 1
+        else:
+            # Anything else is ambiguous: the increment may or may not
+            # have executed before the failure (0-or-1 bound).
+            self.counters[name]["ambiguous"] += 1
+        return outcome, value
+
+    def _op_read(self, op):
+        name = self._counter_name(op)
+        return self._attempt(self.proxies[name].read)
+
+    def _op_transfer(self, op, cancel: bool = False):
+        config = self.config
+        src = f"a{op.get('src', 0) % config.accounts}"
+        dst = f"a{op.get('dst', 1) % config.accounts}"
+        if src == dst:
+            return "noop", None
+        amount = int(op.get("amount", 1))
+        manager = self.domain.tx_manager
+        tx = manager.begin()
+        label = None
+        try:
+            with tx:
+                self.proxies[src].withdraw(amount)
+                self.proxies[dst].deposit(amount)
+                if cancel:
+                    raise _PlanAbort()
+        except _PlanAbort:
+            label = "cancelled"
+        except Signal as exc:
+            label = f"signal:{exc.name}"
+        except OdpError as exc:
+            label = f"failed:{type(exc).__name__}"
+        if tx.state == TxState.COMMITTED:
+            self.accounts_model[src] -= amount
+            self.accounts_model[dst] += amount
+            outcome = "committed"
+        else:
+            outcome = "aborted"
+        if tx.indoubt:
+            self.had_indoubt = True
+            self.indoubt_allowance += amount * len(tx.indoubt)
+            self.indoubt_txs.append(tx)
+            outcome += f"+indoubt:{len(tx.indoubt)}"
+        return outcome, label
+
+    def _op_cancel_transfer(self, op):
+        return self._op_transfer(op, cancel=True)
+
+    def _op_group_put(self, op):
+        key = str(op.get("key", "k0"))
+        value = str(op.get("value", ""))
+        outcome, _ = self._attempt(self.gproxy.put, key, value)
+        self.group_writes.setdefault(key, []).append(
+            (value, outcome == "ok"))
+        return outcome, None
+
+    def _op_group_get(self, op):
+        key = str(op.get("key", "k0"))
+        return self._attempt(self.gproxy.get, key)
+
+    def _op_group_revive(self, op):
+        members = self.group.view.members
+        member = members[op.get("member", 0) % len(members)]
+        if member.alive:
+            return "noop", member.index
+        if self.world.faults.is_crashed(member.node):
+            return "skipped:crashed", member.index
+        try:
+            self.domain.groups.revive("check.kv", member.index)
+            return "ok", member.index
+        except OdpError as exc:
+            return f"failed:{type(exc).__name__}", member.index
+
+    def _op_relocate(self, op):
+        name = self._object_name(op)
+        if name is None:
+            return "noop", None
+        if name in self.collected:
+            return "skipped:collected", name
+        target = op.get("to")
+        if target not in SERVER_NODES:
+            return "noop", name
+        current = self.locations[name]
+        if target == current:
+            return "noop", name
+        faults = self.world.faults
+        if faults.is_crashed(current) or faults.is_crashed(target):
+            return "skipped:crashed", name
+        interface = self.srv[current].interfaces.get(f"check.{name}")
+        if interface is None or interface.state != InterfaceState.ACTIVE:
+            return "skipped:not-active", name
+        try:
+            self.domain.migrator.migrate(self.srv[current],
+                                         f"check.{name}",
+                                         self.srv[target])
+        except OdpError as exc:
+            return f"failed:{type(exc).__name__}", name
+        self.locations[name] = target
+        return "ok", f"{name}:{current}->{target}"
+
+    def _op_passivate(self, op):
+        name = self._object_name(op)
+        if name is None:
+            return "noop", None
+        if name in self.collected:
+            return "skipped:collected", name
+        node = self.locations[name]
+        if self.world.faults.is_crashed(node):
+            return "skipped:crashed", name
+        interface = self.srv[node].interfaces.get(f"check.{name}")
+        if interface is None or interface.state != InterfaceState.ACTIVE:
+            return "noop", name
+        try:
+            self.domain.passivation.passivate(self.srv[node],
+                                              f"check.{name}")
+        except OdpError as exc:
+            return f"failed:{type(exc).__name__}", name
+        return "ok", name
+
+    def _op_gc_sweep(self, op):
+        collector = self.domain.collector
+        now = self.world.now
+        pre: Dict[str, Tuple[str, bool]] = {}
+        for capsule in self.srv.values():
+            for iid, interface in capsule.interfaces.items():
+                pre[iid] = (interface.state.value,
+                            collector.leases.has_live_lease(iid, now))
+        report = collector.sweep()
+        for iid in report.collected:
+            state, lease = pre.get(iid, ("unknown", False))
+            self.gc_observations.append(
+                {"iid": iid, "state": state, "live_lease": lease})
+            if iid.startswith("check.") and iid.count(".") == 1:
+                self.collected.add(iid.split(".", 1)[1])
+        return "ok", {"collected": sorted(report.collected),
+                      "examined": report.examined}
+
+    def _op_advance(self, op):
+        ms = float(op.get("ms", 1.0))
+        if ms > 0:
+            self.world.clock.advance(ms)
+        self.world.faults.pump()
+        return "ok", round(ms, 3)
+
+    def _op_lose_reply(self, op):
+        node = op.get("node")
+        if node not in SERVER_NODES:
+            return "noop", None
+        self.world.faults.lose_next(node, CLIENT_NODE)
+        return "ok", node
+
+    # -- epilogue ------------------------------------------------------------
+
+    def heal(self) -> None:
+        """End of scenario: cross every window boundary, then force a
+        fully-healed network so final observations are honest."""
+        faults = self.world.faults
+        faults.clear_lose_next()
+        self.world.settle()
+        faults.pump()
+        for node in sorted(faults.crashed_nodes):
+            faults.restart_node(node)
+        faults.heal_partition()
+        faults.drop_probability = 0.0
+        for a in _ALL_NODES:
+            for b in _ALL_NODES:
+                if a == b:
+                    continue
+                faults.heal_link(a, b)
+                faults.clear_link_drop(a, b)
+                faults.restore_link(a, b)
+
+    def resolve_indoubt(self) -> List[str]:
+        manager = self.domain.tx_manager
+        unresolved: List[str] = []
+        for tx in self.indoubt_txs:
+            manager.resolve_indoubt(tx)
+            unresolved.extend(p.interface_id for p in tx.indoubt)
+        return sorted(set(unresolved))
+
+    def finish(self) -> RunResult:
+        self.heal()
+        unresolved = self.resolve_indoubt()
+        final_qos = QoS(deadline_ms=None, retries=10)
+
+        counter_final: Dict[str, Optional[int]] = {}
+        for name in self.counters:
+            _, value = self._attempt(self.proxies[name].read,
+                                     _qos=final_qos)
+            counter_final[name] = value
+        accounts_final: Dict[str, Optional[int]] = {}
+        for name in self.accounts_model:
+            _, value = self._attempt(self.proxies[name].balance_of,
+                                     _qos=final_qos)
+            accounts_final[name] = value
+
+        group_final: Dict[str, Optional[str]] = {}
+        for key in sorted(self.group_writes):
+            _, value = self._attempt(self.gproxy.get, key,
+                                     _qos=final_qos)
+            group_final[key] = value
+
+        member_states: List[Dict[str, Any]] = []
+        plumbing = self.domain.groups._plumbing
+        for member in self.group.view.members:
+            _, interface = plumbing[("check.kv", member.index)]
+            implementation = interface.implementation
+            member_states.append({
+                "index": member.index,
+                "node": member.node,
+                "alive": member.alive,
+                "out_of_sync": bool(member.layer.out_of_sync),
+                "applied_seq": member.applied_seq,
+                "data": (dict(sorted(implementation.data.items()))
+                         if implementation is not None else None),
+            })
+
+        relocation_probes: List[Dict[str, Any]] = []
+        relocator = self.domain.relocator
+        finals = dict(counter_final)
+        finals.update(accounts_final)
+        for name in sorted(self.locations):
+            if name in self.collected:
+                continue
+            ref = relocator.try_lookup(f"check.{name}")
+            resolved = (ref.paths[0].node
+                        if ref is not None and ref.paths else None)
+            relocation_probes.append({
+                "obj": name,
+                "expected_node": self.locations[name],
+                "resolved_node": resolved,
+                "final_ok": finals.get(name) is not None,
+            })
+
+        spans = [{"id": span.span_id,
+                  "parent": span.parent_span_id,
+                  "start": span.start_ms,
+                  "end": span.end_ms}
+                 for span in self.domain.tracer.spans()]
+
+        end_state = {
+            "counters": counter_final,
+            "accounts": accounts_final,
+            "group": group_final,
+            "members": member_states,
+            "collected": sorted(self.collected),
+            "locations": dict(sorted(self.locations.items())),
+            "clock_ms": round(self.world.now, 3),
+            "messages": self.world.network.total_messages,
+            "drops": self.world.faults.drops,
+            "spans": len(spans),
+        }
+        digest = digest_run(repr(self.plan), self.history.events,
+                            end_state)
+        return RunResult(
+            plan=self.plan, config=self.config,
+            events=self.history.events, end_state=end_state,
+            digest=digest,
+            counters=self.counters, counter_final=counter_final,
+            accounts_model=self.accounts_model,
+            accounts_final=accounts_final,
+            had_indoubt=self.had_indoubt,
+            indoubt_allowance=self.indoubt_allowance,
+            unresolved_iids=unresolved,
+            group_writes=self.group_writes, group_final=group_final,
+            member_states=member_states,
+            relocation_probes=relocation_probes,
+            gc_observations=self.gc_observations,
+            collected=sorted(self.collected),
+            spans=spans,
+        )
+
+
+def run_plan(plan: Plan, config: Optional[CheckConfig] = None
+             ) -> RunResult:
+    """Execute *plan* on a fresh world and return the recorded run."""
+    config = config or CheckConfig()
+    applied = _apply_mutations(config.mutations)
+    try:
+        run = _Run(plan, config)
+        for index, op in enumerate(plan.ops):
+            run.world.clock.advance(config.op_budget_ms)
+            run.world.faults.pump()
+            run.execute(index, op)
+        return run.finish()
+    finally:
+        _revert_mutations(applied)
+
+
+def run_seed(seed: int, config: Optional[CheckConfig] = None
+             ) -> RunResult:
+    """Generate the plan for *seed*, run it, and judge it."""
+    from repro.check import oracles
+
+    config = config or CheckConfig()
+    plan = generate_plan(seed, config)
+    result = run_plan(plan, config)
+    result.violations = oracles.run_all(result)
+    return result

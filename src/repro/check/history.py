@@ -1,0 +1,57 @@
+"""Run histories: what happened, as comparable data.
+
+The explorer records one event per plan operation plus an end-of-run
+state snapshot; a :class:`History` turns that into a stable digest so
+"same seed, same run" is a checkable claim rather than a hope.  The
+digest hashes a canonical JSON rendering (sorted keys, ``repr`` for
+anything non-primitive), so any nondeterminism — an unsorted set, a
+wall-clock timestamp, an id-dependent ordering — changes the digest
+and fails the determinism check loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List
+
+
+class History:
+    """The ordered record of one explorer run."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def record(self, index: int, op_repr: str, outcome: str,
+               detail: Any, t0: float, t1: float) -> None:
+        self.events.append({
+            "i": index,
+            "op": op_repr,
+            "outcome": outcome,
+            "detail": detail,
+            "t0": round(t0, 3),
+            "t1": round(t1, 3),
+        })
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic rendering: sorted keys, repr for exotic values."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+
+
+def digest_run(plan_repr: str, events: List[Dict[str, Any]],
+               end_state: Dict[str, Any]) -> str:
+    """One hex digest naming this exact run of this exact plan."""
+    blob = canonical_json({
+        "plan": plan_repr,
+        "events": events,
+        "end_state": end_state,
+    })
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,220 @@
+"""Plans: a randomized run of the whole stack, expressed as data.
+
+A :class:`Plan` is one explorer scenario: the world seed, an ordered
+list of client operations (:class:`Op`), and a list of declarative
+chaos windows (:class:`~repro.net.fault.FaultSchedule` members).  Plans
+are *literal* — ``repr(plan)`` is valid Python that rebuilds the plan —
+which is what makes shrunken counterexamples copy-pasteable.
+
+Generation forks dedicated streams from the top-level seed
+(``check:plan`` for operations, ``check:chaos`` for windows) so a plan
+is a pure function of its seed, independent of every stream the
+simulated world itself consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net.fault import CrashWindow, CutWindow, FlakyWindow, GrayWindow
+from repro.sim.rand import DeterministicRandom
+
+#: Fixed explorer topology: three server nodes plus one client node.
+SERVER_NODES: Tuple[str, ...] = ("n1", "n2", "n3")
+CLIENT_NODE = "cli"
+
+#: Operation kinds a plan may contain (the explorer's op vocabulary).
+OP_KINDS = (
+    "invoke",           # counter.increment() — non-idempotent
+    "read",             # counter.read()
+    "transfer",         # transactional withdraw+deposit between accounts
+    "cancel_transfer",  # transfer deliberately aborted by the client
+    "group_put",        # replicated kv write through the group ref
+    "group_get",        # replicated kv read
+    "group_revive",     # re-admit a suspected member after node restart
+    "relocate",         # migrate an object to another node
+    "passivate",        # push an object out to the stable repository
+    "gc_sweep",         # run the distributed collector once
+    "advance",          # advance the virtual clock (lease/lifecycle time)
+    "lose_reply",       # deterministically drop the next reply leg
+)
+
+
+class Op:
+    """One client operation; ``repr`` round-trips as a Python literal."""
+
+    __slots__ = ("kind", "params")
+
+    def __init__(self, kind: str, **params) -> None:
+        if kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {kind!r}")
+        self.kind = kind
+        self.params = dict(params)
+
+    def get(self, key: str, default=None):
+        return self.params.get(key, default)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Op) and other.kind == self.kind
+                and other.params == self.params)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, tuple(sorted(self.params.items()))))
+
+    def __repr__(self) -> str:
+        parts = [repr(self.kind)] + [
+            f"{key}={self.params[key]!r}" for key in sorted(self.params)]
+        return f"Op({', '.join(parts)})"
+
+
+class Plan:
+    """A complete explorer scenario, reproducible from its own repr."""
+
+    __slots__ = ("seed", "ops", "windows")
+
+    def __init__(self, seed: int, ops: Optional[List[Op]] = None,
+                 windows: Optional[list] = None) -> None:
+        self.seed = seed
+        self.ops: List[Op] = list(ops) if ops else []
+        self.windows: list = list(windows) if windows else []
+
+    def replace(self, ops=None, windows=None) -> "Plan":
+        return Plan(self.seed,
+                    self.ops if ops is None else ops,
+                    self.windows if windows is None else windows)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Plan) and other.seed == self.seed
+                and other.ops == self.ops
+                and other.windows == self.windows)
+
+    def __repr__(self) -> str:
+        ops = ", ".join(repr(op) for op in self.ops)
+        windows = ", ".join(repr(w) for w in self.windows)
+        return (f"Plan(seed={self.seed}, ops=[{ops}], "
+                f"windows=[{windows}])")
+
+    def summary(self) -> str:
+        kinds = {}
+        for op in self.ops:
+            kinds[op.kind] = kinds.get(op.kind, 0) + 1
+        inner = ", ".join(f"{kind}x{count}"
+                          for kind, count in sorted(kinds.items()))
+        return (f"Plan(seed={self.seed}, {len(self.ops)} ops "
+                f"[{inner}], {len(self.windows)} windows)")
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+#: (kind, weight) — invocation-heavy, with enough lifecycle churn
+#: (relocation, passivation, gc, big clock jumps) to stress every layer.
+_OP_WEIGHTS = (
+    ("invoke", 24),
+    ("read", 8),
+    ("transfer", 14),
+    ("cancel_transfer", 4),
+    ("group_put", 12),
+    ("group_get", 6),
+    ("group_revive", 3),
+    ("relocate", 8),
+    ("passivate", 5),
+    ("gc_sweep", 4),
+    ("advance", 8),
+    ("lose_reply", 4),
+)
+_TOTAL_WEIGHT = sum(weight for _, weight in _OP_WEIGHTS)
+
+_KEYS = ("k0", "k1", "k2", "k3", "k4", "k5")
+
+
+def _pick_kind(rng: DeterministicRandom) -> str:
+    roll = rng.randint(1, _TOTAL_WEIGHT)
+    for kind, weight in _OP_WEIGHTS:
+        roll -= weight
+        if roll <= 0:
+            return kind
+    return _OP_WEIGHTS[-1][0]
+
+
+def _generate_op(rng: DeterministicRandom, config, index: int) -> Op:
+    kind = _pick_kind(rng)
+    if kind == "invoke" or kind == "read":
+        return Op(kind, counter=rng.randint(0, config.counters - 1))
+    if kind == "transfer" or kind == "cancel_transfer":
+        src = rng.randint(0, config.accounts - 1)
+        dst = rng.randint(0, config.accounts - 2)
+        if dst >= src:
+            dst += 1
+        return Op(kind, src=src, dst=dst, amount=rng.randint(1, 60))
+    if kind == "group_put":
+        return Op(kind, key=rng.choice(_KEYS), value=f"v{index}")
+    if kind == "group_get":
+        return Op(kind, key=rng.choice(_KEYS))
+    if kind == "group_revive":
+        return Op(kind, member=rng.randint(0, config.group_size - 1))
+    if kind == "relocate":
+        objects = ([f"c{i}" for i in range(config.counters)]
+                   + [f"a{i}" for i in range(config.accounts)])
+        return Op(kind, obj=rng.choice(objects),
+                  to=rng.choice(SERVER_NODES))
+    if kind == "passivate":
+        objects = ([f"c{i}" for i in range(config.counters)]
+                   + [f"a{i}" for i in range(config.accounts)])
+        return Op(kind, obj=rng.choice(objects))
+    if kind == "gc_sweep":
+        return Op(kind)
+    if kind == "advance":
+        # Mostly small pauses; occasionally a jump long enough for
+        # leases to expire, making passivated objects collectable.
+        if rng.chance(0.15):
+            return Op(kind, ms=float(rng.randint(11_000, 16_000)))
+        return Op(kind, ms=round(rng.uniform(2.0, 250.0), 3))
+    if kind == "lose_reply":
+        return Op(kind, node=rng.choice(SERVER_NODES))
+    raise AssertionError(kind)
+
+
+def _generate_window(rng: DeterministicRandom, horizon_ms: float):
+    start = round(rng.uniform(0.0, horizon_ms * 0.7), 3)
+    kind = rng.randint(0, 3)
+    if kind == 0:
+        duration = round(rng.uniform(horizon_ms * 0.05,
+                                     horizon_ms * 0.30), 3)
+        return FlakyWindow(start, start + duration,
+                           drop=round(rng.uniform(0.05, 0.35), 3))
+    if kind == 1:
+        duration = round(rng.uniform(horizon_ms * 0.05,
+                                     horizon_ms * 0.20), 3)
+        return CrashWindow(rng.choice(SERVER_NODES), start,
+                           start + duration)
+    if kind == 2:
+        duration = round(rng.uniform(horizon_ms * 0.05,
+                                     horizon_ms * 0.30), 3)
+        ends = (CLIENT_NODE, rng.choice(SERVER_NODES))
+        if rng.chance(0.5):
+            ends = (ends[1], ends[0])
+        return GrayWindow(start, start + duration,
+                          factor=round(rng.uniform(2.0, 8.0), 3),
+                          source=ends[0], destination=ends[1])
+    duration = round(rng.uniform(horizon_ms * 0.03,
+                                 horizon_ms * 0.15), 3)
+    return CutWindow(CLIENT_NODE, rng.choice(SERVER_NODES),
+                     start, start + duration)
+
+
+def generate_plan(seed: int, config) -> Plan:
+    """A plan is a pure function of (seed, config): same in, same out."""
+    root = DeterministicRandom(seed, path=f"check:{seed}")
+    op_rng = root.fork("check:plan")
+    chaos_rng = root.fork("check:chaos")
+
+    ops = [_generate_op(op_rng, config, index)
+           for index in range(config.ops)]
+
+    horizon = config.ops * config.op_budget_ms
+    windows = [_generate_window(chaos_rng, horizon)
+               for _ in range(chaos_rng.randint(0, config.max_windows))]
+    windows.sort(key=lambda w: (w.start_ms, type(w).__name__))
+    return Plan(seed, ops, windows)

@@ -1,0 +1,75 @@
+"""Reference ADTs the simulation-test explorer hammers.
+
+Small, deliberately *checkable* objects: every one has a cheap readonly
+observation the oracles use to compare end state against a client-side
+model.  They live inside the package (not the test tree) so a shrunken
+counterexample snippet is runnable from a bare ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+from repro.comp.model import OdpObject, operation
+from repro.comp.outcomes import Signal
+
+
+class Counter(OdpObject):
+    """Non-idempotent by construction: the exactly-once canary."""
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    @operation(returns=[int])
+    def increment(self):
+        self.value += 1
+        return self.value
+
+    @operation(returns=[int], readonly=True)
+    def read(self):
+        return self.value
+
+
+class Account(OdpObject):
+    """The paper's bank account; the transfer workload's currency."""
+
+    def __init__(self, balance: int = 0) -> None:
+        self.balance = balance
+
+    @operation(params=[int], returns=[int])
+    def deposit(self, amount):
+        if amount < 0:
+            raise Signal("invalid_amount")
+        self.balance += amount
+        return self.balance
+
+    @operation(params=[int], returns=[int],
+               errors={"overdrawn": [int], "invalid_amount": []})
+    def withdraw(self, amount):
+        if amount < 0:
+            raise Signal("invalid_amount")
+        if amount > self.balance:
+            raise Signal("overdrawn", self.balance)
+        self.balance -= amount
+        return self.balance
+
+    @operation(returns=[int], readonly=True)
+    def balance_of(self):
+        return self.balance
+
+
+class KvStore(OdpObject):
+    """The replicated-state workhorse behind the object group."""
+
+    def __init__(self) -> None:
+        self.data = {}
+
+    @operation(params=[str, str])
+    def put(self, key, value):
+        self.data[key] = value
+
+    @operation(params=[str], returns=[str], readonly=True)
+    def get(self, key):
+        return self.data.get(key, "")
+
+    @operation(returns=[int], readonly=True)
+    def size(self):
+        return len(self.data)

@@ -68,7 +68,7 @@ class Migrator:
             size = len(repr(snapshot))
             network.scheduler.clock.advance(
                 network.latency.delay(src_node, dst_node, size,
-                                      network.rng)
+                                      network.jitter_rng)
                 + self.transfer_overhead_ms)
 
         old_epoch = interface.epoch

@@ -189,6 +189,19 @@ class FaultPlan:
         self._schedule = None
         self._clock = None
 
+    def pump(self) -> None:
+        """Apply any schedule transitions the clock has already passed.
+
+        The lazy sync only fires when a fault verdict is requested; a
+        run that ends with a plain clock advance calls this to make the
+        failure timeline catch up before inspecting fault state.
+        """
+        self._sync()
+
+    def clear_lose_next(self) -> None:
+        """Forget pending one-shot losses (end-of-scenario cleanup)."""
+        self._lose_next.clear()
+
     def _sync(self) -> None:
         if self._schedule is not None and self._clock is not None:
             self._schedule.sync(self._clock.now, self)

@@ -100,6 +100,10 @@ class Network:
         self.latency = latency if latency is not None else LatencyModel()
         self.faults = faults if faults is not None else FaultPlan()
         self.rng = rng if rng is not None else DeterministicRandom(0)
+        #: Latency jitter draws from its own fork so that turning
+        #: probabilistic loss on or off never perturbs delay samples
+        #: (and vice versa) — one seed, independent streams per effect.
+        self.jitter_rng = self.rng.fork("latency-jitter")
         self._nodes: Dict[str, NetworkNode] = {}
         #: Per-protocol latency models; protocols not listed use the
         #: default model.
@@ -153,7 +157,7 @@ class Network:
     def _leg_delay(self, latency: LatencyModel, source: str,
                    destination: str, size: int) -> float:
         """One leg's latency, inflated when the link is gray."""
-        return (latency.delay(source, destination, size, self.rng)
+        return (latency.delay(source, destination, size, self.jitter_rng)
                 * self.faults.latency_factor(source, destination))
 
     def _account(self, source: str, destination: str, size: int) -> None:

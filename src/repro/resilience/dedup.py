@@ -27,6 +27,12 @@ from typing import Optional
 class ReplyCache:
     """Bounded invocation-id -> encoded-reply cache for one nucleus."""
 
+    #: TEST-ONLY mutation hook (repro.check oracle-sensitivity tests):
+    #: when True, lookups miss unconditionally, silently degrading the
+    #: platform to at-least-once so the exactly-once oracle must notice.
+    #: Never set in production code paths.
+    mutate_skip_lookup = False
+
     def __init__(self, capacity: int = 4096, enabled: bool = True) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -41,6 +47,8 @@ class ReplyCache:
         """Return the cached reply for a retransmission, if any."""
         if not self.enabled or not invocation_id:
             return None
+        if self.mutate_skip_lookup:
+            return None  # test-only: behave as if never seen
         reply = self._replies.get(invocation_id)
         if reply is not None:
             self.duplicates_suppressed += 1

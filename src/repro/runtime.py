@@ -38,6 +38,7 @@ class World:
         self.seed = seed
         self.scheduler = Scheduler()
         self.rng = DeterministicRandom(seed)
+        self._fork_labels = {"network"}
         self.faults = FaultPlan(drop_probability)
         self.network = Network(
             self.scheduler,
@@ -57,6 +58,25 @@ class World:
             from repro.streams.binding import StreamManager
             self._streams = StreamManager(self.network, self.scheduler)
         return self._streams
+
+    # -- randomness ---------------------------------------------------------
+
+    def fork_rng(self, label: str) -> DeterministicRandom:
+        """Fork an independent random stream from the world seed.
+
+        Every consumer of randomness layered on top of a world (workload
+        generators, chaos explorers) must take its own labelled fork so
+        its draws cannot perturb the platform's streams.  Duplicate
+        labels are rejected: two call sites silently sharing one label
+        would receive *identical* streams — correlated randomness that
+        masquerades as independence.
+        """
+        if label in self._fork_labels:
+            raise ValueError(
+                f"rng stream {label!r} already forked from this world; "
+                f"independent consumers need distinct labels")
+        self._fork_labels.add(label)
+        return self.rng.fork(label)
 
     # -- time ---------------------------------------------------------------
 

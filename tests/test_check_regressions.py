@@ -1,0 +1,39 @@
+"""Shrunken counterexamples promoted to permanent regression tests.
+
+When ``python -m repro.check`` finds a violating seed, the shrinker
+reduces it to a minimal plan whose repr is pasted here verbatim (see
+``repro.check.shrink.repro_snippet``), pinned against the platform
+ever re-growing the bug.  Each entry records the seed, the oracle that
+fired, and the minimal plan.
+
+No genuine platform violation survived the development sweeps (seeds
+0-199 clean), so the only entries so far are *mutation-backed*: the
+minimal plans the shrinker produced against deliberately broken
+platform variants.  They double as regression tests for the shrinker's
+output format staying runnable.
+"""
+
+from __future__ import annotations
+
+from repro.check import CheckConfig, Op, Plan, run_plan
+from repro.check.oracles import run_all
+
+#: Shrunk from seed 1 (60 ops, 1 window) against the ``replycache``
+#: mutation: a targeted reply-leg loss forces a client retransmission;
+#: without dedup the increment executes twice.
+REPLYCACHE_MINIMAL = Plan(seed=1, ops=[
+    Op("lose_reply", node="n3"),
+    Op("relocate", obj="c1", to="n3"),
+    Op("invoke", counter=1),
+], windows=[])
+
+
+def test_replycache_minimal_plan_still_detected():
+    config = CheckConfig().with_mutations("replycache")
+    violations = run_all(run_plan(REPLYCACHE_MINIMAL, config))
+    assert {v.oracle for v in violations} == {"exactly_once"}
+
+
+def test_replycache_minimal_plan_clean_without_mutation():
+    violations = run_all(run_plan(REPLYCACHE_MINIMAL, CheckConfig()))
+    assert violations == []
