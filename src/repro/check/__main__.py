@@ -36,6 +36,11 @@ def _parse(argv: Optional[List[str]]) -> argparse.Namespace:
                         choices=sorted(MUTATIONS),
                         help="enable a platform mutation (repeatable); "
                              "the matching oracle is expected to fire")
+    parser.add_argument("--supervisor", action="store_true",
+                        help="run the self-healing supervisor "
+                             "(repro.heal) during every plan; the "
+                             "self_heal oracle then requires groups to "
+                             "regain full replication factor")
     parser.add_argument("--shrink", action="store_true",
                         help="shrink the first failing plan and print "
                              "a reproduction script")
@@ -51,10 +56,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = CheckConfig(ops=args.ops)
     if args.mutate:
         config = config.with_mutations(*args.mutate)
+    if args.supervisor:
+        config = config.with_supervisor()
 
     print(f"repro.check: {args.seeds} seeds from {args.base_seed}, "
           f"{config.ops} ops/plan, mutations="
-          f"{list(config.mutations) or 'none'}")
+          f"{list(config.mutations) or 'none'}, "
+          f"supervisor={'on' if config.supervisor else 'off'}")
 
     started = time.monotonic()
     per_oracle = {name: 0 for name in ORACLES}

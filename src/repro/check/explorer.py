@@ -67,6 +67,14 @@ class CheckConfig:
     max_windows: int = 4
     #: Active platform mutations (keys of :data:`MUTATIONS`).
     mutations: Tuple[str, ...] = ()
+    #: Run the domain's self-healing supervisor (repro.heal) during the
+    #: plan: heartbeats over the simulated network, observation-based
+    #: failure detection, automatic revive/replace/recover.  Activates
+    #: the ``self_heal`` oracle.
+    supervisor: bool = False
+    #: Virtual ms granted after chaos ends for the supervisor to finish
+    #: repairs before final observations are taken.
+    supervisor_grace_ms: float = 500.0
 
     def with_mutations(self, *names: str) -> "CheckConfig":
         for name in names:
@@ -74,6 +82,13 @@ class CheckConfig:
                 raise ValueError(f"unknown mutation {name!r}; "
                                  f"known: {sorted(MUTATIONS)}")
         return replace(self, mutations=tuple(names))
+
+    def with_supervisor(self,
+                        grace_ms: Optional[float] = None) -> "CheckConfig":
+        changes: Dict[str, Any] = {"supervisor": True}
+        if grace_ms is not None:
+            changes["supervisor_grace_ms"] = grace_ms
+        return replace(self, **changes)
 
 
 @dataclass
@@ -179,6 +194,11 @@ class _Run:
             KvStore, [self.srv[node] for node in SERVER_NODES],
             spec, group_id="check.kv")
         self.gproxy = self.binder.bind(gref, qos=self.qos)
+
+        self.supervisor = None
+        if config.supervisor:
+            self.supervisor = self.domain.supervisor
+            self.supervisor.start()
 
         self.schedule = FaultSchedule(*plan.windows)
         if plan.windows:
@@ -365,10 +385,20 @@ class _Run:
         return "ok", {"collected": sorted(report.collected),
                       "examined": report.examined}
 
+    def _advance(self, ms: float) -> None:
+        """Advance virtual time between ops.  With the supervisor on,
+        run the event loop (heartbeats and supervision ticks must fire);
+        otherwise a plain clock jump, byte-identical to the original."""
+        if ms <= 0:
+            return
+        if self.supervisor is not None:
+            self.world.scheduler.run_until(self.world.now + ms)
+        else:
+            self.world.clock.advance(ms)
+
     def _op_advance(self, op):
         ms = float(op.get("ms", 1.0))
-        if ms > 0:
-            self.world.clock.advance(ms)
+        self._advance(ms)
         self.world.faults.pump()
         return "ok", round(ms, 3)
 
@@ -383,11 +413,35 @@ class _Run:
 
     def heal(self) -> None:
         """End of scenario: cross every window boundary, then force a
-        fully-healed network so final observations are honest."""
+        fully-healed network so final observations are honest.
+
+        With the supervisor on, the event loop first runs through the
+        chaos horizon plus a grace period so repairs happen through the
+        platform's own detect->diagnose->repair loop (restarted nodes
+        heartbeat again, revives and replacements land) — then the
+        supervisor is stopped before settling, since its recurring
+        events would otherwise keep the scheduler busy forever.
+        """
         faults = self.world.faults
         faults.clear_lose_next()
+        if self.supervisor is not None:
+            grace = self.config.supervisor_grace_ms
+            horizon = self.world.now
+            for window in self.plan.windows:
+                for edge in (getattr(window, "start_ms", None),
+                             getattr(window, "end_ms", None)):
+                    if edge is not None:
+                        horizon = max(horizon, float(edge))
+            self.world.scheduler.run_until(horizon + grace)
+            faults.pump()
+            self._force_heal(faults)
+            self.world.scheduler.run_until(self.world.now + grace)
+            self.supervisor.stop()
         self.world.settle()
         faults.pump()
+        self._force_heal(faults)
+
+    def _force_heal(self, faults) -> None:
         for node in sorted(faults.crashed_nodes):
             faults.restart_node(node)
         faults.heal_partition()
@@ -480,6 +534,8 @@ class _Run:
             "drops": self.world.faults.drops,
             "spans": len(spans),
         }
+        if self.supervisor is not None:
+            end_state["heal"] = self.supervisor.report()
         digest = digest_run(repr(self.plan), self.history.events,
                             end_state)
         return RunResult(
@@ -509,7 +565,7 @@ def run_plan(plan: Plan, config: Optional[CheckConfig] = None
     try:
         run = _Run(plan, config)
         for index, op in enumerate(plan.ops):
-            run.world.clock.advance(config.op_budget_ms)
+            run._advance(config.op_budget_ms)
             run.world.faults.pump()
             run.execute(index, op)
         return run.finish()

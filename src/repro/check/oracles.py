@@ -205,6 +205,43 @@ def clock_monotonic(result) -> List[Violation]:
     return violations
 
 
+def self_heal(result) -> List[Violation]:
+    """With the supervisor on, chaos must not leave the group degraded.
+
+    After the heal epilogue (every node restarted, links healed, plus a
+    grace period with the supervisor still running) the replica group
+    must be back at full replication factor with every live member in
+    sync — repaired by the supervisor's own detect->diagnose->repair
+    loop, not by test fiat.  The detector must also have observed real
+    heartbeats, so a pass cannot be vacuous.
+    """
+    if not getattr(result.config, "supervisor", False):
+        return []
+    heal = result.end_state.get("heal")
+    if heal is None:
+        return [Violation(
+            "self_heal",
+            "supervisor enabled but no heal report was recorded")]
+    violations = []
+    if heal["detector"]["heartbeats_observed"] == 0:
+        violations.append(Violation(
+            "self_heal", "the failure detector observed no heartbeats "
+                         "(supervision was vacuous)"))
+    live = [m for m in result.member_states if m["alive"]]
+    if len(live) < result.config.group_size:
+        violations.append(Violation(
+            "self_heal",
+            f"group has {len(live)} live member(s) after heal + grace, "
+            f"needs {result.config.group_size}"))
+    for member in live:
+        if member["out_of_sync"]:
+            violations.append(Violation(
+                "self_heal",
+                f"member {member['index']} is live but still awaiting "
+                f"state transfer after heal + grace"))
+    return violations
+
+
 #: The oracle catalogue, in reporting order.
 ORACLES: Dict[str, Callable] = {
     "exactly_once": exactly_once,
@@ -213,6 +250,7 @@ ORACLES: Dict[str, Callable] = {
     "relocation": relocation,
     "gc_safety": gc_safety,
     "clock_monotonic": clock_monotonic,
+    "self_heal": self_heal,
 }
 
 

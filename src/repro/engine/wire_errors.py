@@ -25,6 +25,8 @@ _CODES = (
     ("access_denied", errors.AccessDeniedError),
     ("no_quorum", errors.NoQuorumError),
     ("membership", errors.MembershipError),
+    ("fenced", errors.EpochFencedError),
+    ("group_unavailable", errors.GroupUnavailableError),
     ("group", errors.GroupError),
     ("stale", errors.StaleReferenceError),
     ("closed", errors.InterfaceClosedError),

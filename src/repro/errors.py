@@ -141,6 +141,29 @@ class MembershipError(GroupError):
     """A join/leave request was invalid for the current view."""
 
 
+class EpochFencedError(GroupError):
+    """A group invocation carried a stale view/epoch number.
+
+    Raised at the *member* layer when an invocation (or relay) claims a
+    view the group has since moved past, or targets a member that has
+    been voted out of the current view — the split-brain guard: a zombie
+    sequencer resurfacing after a partition heals is rejected instead of
+    accepting writes.  Clients treat it as a signal to refresh the view
+    and retry; it never indicates a crashed member.
+    """
+
+
+class GroupUnavailableError(GroupError):
+    """The group currently has no live members at all.
+
+    Unlike :class:`MembershipError` this is *retryable*: the group may
+    come back once a supervisor revives or replaces members, so clients
+    should back off and rebind rather than treat the group as gone.
+    """
+
+    retryable = True
+
+
 # ---------------------------------------------------------------------------
 # Federation / security errors (sections 4.2, 5.6, 7.1)
 # ---------------------------------------------------------------------------

@@ -43,6 +43,7 @@ class Domain:
         self._trader = None
         self._collector = None
         self._tracer = None
+        self._supervisor = None
 
     # -- structure -------------------------------------------------------------
 
@@ -206,6 +207,18 @@ class Domain:
             from repro.trace.collector import TraceCollector
             self._tracer = TraceCollector(self.name, self.scheduler.clock)
         return self._tracer
+
+    @property
+    def supervisor(self):
+        """The self-healing supervisor (detect -> diagnose -> repair).
+
+        Created lazily and *not* started: call ``start()`` to begin
+        heartbeating and supervision.
+        """
+        if self._supervisor is None:
+            from repro.heal.supervisor import Supervisor
+            self._supervisor = Supervisor(self)
+        return self._supervisor
 
     # -- hooks used by the engine ---------------------------------------------------
 

@@ -15,11 +15,13 @@ from repro.engine.layers import ClientLayer
 from repro.engine.remote import invoke_at
 from repro.errors import (
     CommunicationError,
+    EpochFencedError,
     GroupError,
+    GroupUnavailableError,
     MembershipError,
     NodeUnreachableError,
 )
-from repro.groups.member import ROLE_KEY
+from repro.groups.member import ROLE_KEY, VIEW_KEY
 
 
 class GroupInvokeLayer(ClientLayer):
@@ -36,6 +38,7 @@ class GroupInvokeLayer(ClientLayer):
         self.max_view_changes = max_view_changes
         self.invocations = 0
         self.failovers = 0
+        self.fenced_retries = 0
         self.read_spread_reads = 0
 
     def request(self, invocation: Invocation, next_layer) -> Termination:
@@ -52,13 +55,22 @@ class GroupInvokeLayer(ClientLayer):
         for _ in range(attempts):
             sequencer = group.view.sequencer
             if sequencer is None:
-                raise GroupError(
-                    f"group {self.group_id} has no live members")
+                raise GroupUnavailableError(
+                    f"group {self.group_id} has no live members; retry "
+                    f"once a supervisor revives or replaces them")
+            # Stamp the view this request was routed under, so a stale
+            # routing decision is fenced at the member instead of being
+            # applied under the wrong membership (split-brain guard).
+            invocation.context.extra[VIEW_KEY] = group.view.number
             try:
                 return invoke_at(
                     self.nucleus, self.capsule, sequencer.node,
                     sequencer.capsule_name, sequencer.interface_id,
                     invocation)
+            except EpochFencedError:
+                # The member outlives our view knowledge, not the other
+                # way round: refresh and retry without suspecting it.
+                self.fenced_retries += 1
             except (NodeUnreachableError, MembershipError):
                 self.failovers += 1
                 self.registry.suspect(self.group_id, sequencer)
@@ -72,9 +84,15 @@ class GroupInvokeLayer(ClientLayer):
 
     def _read_anywhere(self, group, invocation: Invocation) -> Termination:
         """Spread read demand over the live members (availability)."""
-        tried = 0
         live_count = len(group.view.live_members())
-        while tried < max(live_count, 1):
+        if live_count == 0:
+            raise GroupUnavailableError(
+                f"group {self.group_id} has no live members to read "
+                f"from; retry once a supervisor revives or replaces them")
+        tried = 0
+        while tried < live_count:
+            if not group.view.live_members():
+                break  # every candidate was suspected mid-loop
             member = group.rotate_reader()
             read = Invocation(
                 interface_id=member.interface_id,
@@ -85,11 +103,15 @@ class GroupInvokeLayer(ClientLayer):
                 context=invocation.context.copy(),
             )
             read.context.extra[ROLE_KEY] = "read"
+            read.context.extra[VIEW_KEY] = group.view.number
             try:
                 self.read_spread_reads += 1
                 return invoke_at(
                     self.nucleus, self.capsule, member.node,
                     member.capsule_name, member.interface_id, read)
+            except EpochFencedError:
+                self.fenced_retries += 1
+                tried += 1
             except (CommunicationError, MembershipError):
                 self.registry.suspect(self.group_id, member)
                 tried += 1

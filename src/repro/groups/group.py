@@ -56,6 +56,9 @@ class ReplicaGroup:
         self.group_id = group_id
         self.signature = signature
         self.spec = spec
+        #: Cleared when the last member dies (binding then fails with a
+        #: retryable signal); restored by revive/join.
+        self.available = True
         self.view = View(number=0)
         self._next_seq = 0
         self.view_changes = 0

@@ -18,6 +18,7 @@ from repro.engine.layers import ServerLayer
 from repro.engine.remote import invoke_at
 from repro.errors import (
     CommunicationError,
+    EpochFencedError,
     MembershipError,
     NoQuorumError,
 )
@@ -25,6 +26,7 @@ from repro.errors import (
 #: context.extra keys used by the group protocol.
 ROLE_KEY = "grole"
 SEQ_KEY = "gseq"
+VIEW_KEY = "gview"
 
 
 class GroupMemberLayer(ServerLayer):
@@ -61,8 +63,33 @@ class GroupMemberLayer(ServerLayer):
 
     # -- the layer ---------------------------------------------------------------
 
+    def _fence(self, invocation: Invocation) -> None:
+        """Epoch fencing: the split-brain guard (section 5.3).
+
+        A zombie member — voted out of the view while its node was
+        partitioned away — must not accept writes when the partition
+        heals, and an invocation stamped with a view the group has
+        since moved past must not be applied under the old membership.
+        Both are rejected with a *fencible* error distinct from the
+        failure signals: clients refresh the view and retry instead of
+        suspecting a healthy member.
+        """
+        group = self.group
+        me = self._me()
+        if me is not None and not me.alive:
+            raise EpochFencedError(
+                f"member {self.member_index} of {self.group_id} is "
+                f"fenced: voted out of view {group.view.number}")
+        claimed = invocation.context.extra.get(VIEW_KEY)
+        if claimed is not None and int(claimed) != group.view.number:
+            raise EpochFencedError(
+                f"member {self.member_index} of {self.group_id}: "
+                f"invocation claims view {claimed}, current view is "
+                f"{group.view.number}")
+
     def handle(self, invocation: Invocation, interface,
                next_layer) -> Termination:
+        self._fence(invocation)
         if self.out_of_sync:
             raise MembershipError(
                 f"member {self.member_index} of {self.group_id} is out of "
@@ -141,5 +168,6 @@ class GroupMemberLayer(ServerLayer):
         )
         relay.context.extra[ROLE_KEY] = "apply"
         relay.context.extra[SEQ_KEY] = seq
+        relay.context.extra[VIEW_KEY] = self.group.view.number
         invoke_at(self.capsule.nucleus, self.capsule, member.node,
                   member.capsule_name, member.interface_id, relay)

@@ -19,7 +19,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.comp.constraints import EnvironmentConstraints, ReplicationSpec
 from repro.comp.model import signature_of
 from repro.comp.reference import AccessPath, InterfaceRef
-from repro.errors import GroupError, MembershipError
+from repro.errors import (
+    GroupError,
+    GroupUnavailableError,
+    MembershipError,
+)
 from repro.groups.group import Member, ReplicaGroup
 from repro.groups.member import GroupMemberLayer
 from repro.tx.versions import restore_snapshot, take_snapshot
@@ -41,6 +45,7 @@ class GroupRegistry:
         self._member_counter: Dict[str, int] = {}
         self.suspicions = 0
         self.heartbeat_event = None
+        self._heartbeat_supervisor = None
 
     # -- creation ---------------------------------------------------------------
 
@@ -107,7 +112,14 @@ class GroupRegistry:
         except KeyError:
             raise GroupError(f"unknown group {group_id!r}") from None
 
+    def group_ids(self) -> List[str]:
+        return sorted(self._groups)
+
     def group_ref(self, group: ReplicaGroup) -> InterfaceRef:
+        if not group.available or not group.view.live_members():
+            raise GroupUnavailableError(
+                f"group {group.group_id} has no live members to bind; "
+                f"retry after a supervisor revives or replaces them")
         paths = tuple(
             AccessPath(m.node, m.capsule_name, "rrp",
                        self.domain.wire_format_of(m.node))
@@ -131,6 +143,10 @@ class GroupRegistry:
         target.alive = False
         survivors = group.view.live_members()
         if not survivors:
+            # Last survivor gone: mark the group unavailable explicitly
+            # so binding fails with a retryable signal, rather than
+            # handing out a ref with zero access paths.
+            group.available = False
             group.new_view(group.view.members,
                            group.view.sequencer_index)
             return
@@ -180,6 +196,7 @@ class GroupRegistry:
         group.new_view(members,
                        sequencer_index=(sequencer.index if sequencer
                                         else member.index))
+        group.available = True
         return member
 
     def leave(self, group_id: str, member_index: int) -> None:
@@ -203,28 +220,40 @@ class GroupRegistry:
                        if m.index == member_index), None)
         if member is None:
             raise MembershipError(f"no member {member_index} in {group_id}")
+        if member.layer is None:
+            raise MembershipError(
+                f"member {member_index} of {group_id} was never wired "
+                f"into a capsule (no ordering layer); cannot revive")
         member.alive = True
         member.layer.out_of_sync = True
         survivors = group.view.live_members()
         self._reconcile_and_install(group, survivors)
+        group.available = True
 
     # -- monitoring ----------------------------------------------------------------
 
     def start_heartbeats(self, interval_ms: float = 50.0) -> None:
-        """Detect crashed members from the fault plan on a timer."""
-        scheduler = self.domain.scheduler
-        faults = self.domain.network.faults
+        """Monitor members through observed heartbeats over the network.
 
-        def beat() -> None:
-            for group in list(self._groups.values()):
-                for member in group.view.live_members():
-                    if faults.is_crashed(member.node):
-                        self.suspect(group.group_id, member)
-
-        self.heartbeat_event = scheduler.every(interval_ms, beat,
-                                               label="group-heartbeat")
+        Liveness is inferred from heartbeat inter-arrival times by a
+        phi-accrual detector (:mod:`repro.heal`) — never by consulting
+        the fault plan — so detection latency is a measured property of
+        the configured interval and the network's actual behaviour.
+        This detection-only supervisor suspects silent members (running
+        view changes) but performs no repairs; for the full
+        detect->diagnose->repair loop use ``domain.supervisor``.
+        """
+        if self._heartbeat_supervisor is not None:
+            return
+        from repro.heal.supervisor import Supervisor
+        self._heartbeat_supervisor = Supervisor(
+            self.domain, interval_ms=interval_ms, repair=False,
+            recover_singletons=False, watch_nodes=False)
+        self._heartbeat_supervisor.start()
+        self.heartbeat_event = self._heartbeat_supervisor.poll_event
 
     def stop_heartbeats(self) -> None:
-        if self.heartbeat_event is not None:
-            self.heartbeat_event.cancel()
-            self.heartbeat_event = None
+        if self._heartbeat_supervisor is not None:
+            self._heartbeat_supervisor.stop()
+            self._heartbeat_supervisor = None
+        self.heartbeat_event = None

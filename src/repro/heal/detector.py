@@ -1,0 +1,196 @@
+"""Phi-accrual failure detection from observed heartbeats.
+
+The detector never consults the fault plan: its *only* inputs are the
+virtual-clock arrival times of heartbeat messages that actually crossed
+the simulated network.  For every monitored ``(node, capsule)`` endpoint
+it keeps a sliding window of inter-arrival times and computes the
+suspicion level phi — the negative log-probability, under a normal fit
+of the observed inter-arrival distribution, that a heartbeat could still
+be merely late rather than missing (Hayashibara et al.'s accrual
+detector, adapted to virtual time).  Crossing a tunable threshold turns
+the endpoint ``suspect``; a later arrival turns it back ``alive``, which
+is how false suspicions (a gray link, a flaky window) are distinguished
+from real crashes — they *accrue* and then recover.
+
+Detection latency is therefore a measured property of heartbeat period,
+network behaviour and threshold — not an oracle lookup.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: phi is capped here: erfc underflows to 0 around z ~ 27, and "the
+#: 10^-40 chance this is a late heartbeat" is already certainty.
+PHI_CAP = 40.0
+
+EndpointKey = Tuple[str, str]  # (node, capsule)
+
+
+class _Arrivals:
+    """Heartbeat history for one monitored endpoint."""
+
+    __slots__ = ("last_arrival", "intervals", "state", "arrivals")
+
+    def __init__(self, now: float, prime_interval: float,
+                 window: int) -> None:
+        self.last_arrival = now
+        # Prime the window with the configured period so phi is
+        # meaningful before the first real arrival.
+        self.intervals: deque = deque([prime_interval, prime_interval],
+                                      maxlen=window)
+        self.state = "alive"
+        self.arrivals = 0
+
+
+class PhiAccrualDetector:
+    """Adaptive accrual failure detector over heartbeat arrivals."""
+
+    def __init__(self, clock, expected_interval_ms: float = 50.0,
+                 threshold: float = 8.0, window: int = 64,
+                 min_stddev_ms: Optional[float] = None) -> None:
+        if expected_interval_ms <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if threshold <= 0:
+            raise ValueError("phi threshold must be positive")
+        self.clock = clock
+        self.expected_interval_ms = expected_interval_ms
+        self.threshold = threshold
+        self.window = window
+        #: Floor on the fitted stddev: with a metronomic virtual-time
+        #: emitter the measured variance collapses to ~0 and a heartbeat
+        #: one jitter-quantum late would look infinitely suspicious.
+        self.min_stddev_ms = (min_stddev_ms if min_stddev_ms is not None
+                              else expected_interval_ms / 4.0)
+        self._tracked: Dict[EndpointKey, _Arrivals] = {}
+        self._listeners: List[Callable] = []
+        self.heartbeats_observed = 0
+        self.suspicions = 0
+        self.recoveries = 0
+
+    # -- registration --------------------------------------------------------
+
+    def watch(self, node: str, capsule: str) -> None:
+        """Start monitoring an endpoint (idempotent)."""
+        key = (node, capsule)
+        if key not in self._tracked:
+            self._tracked[key] = _Arrivals(
+                self.clock.now, self.expected_interval_ms, self.window)
+
+    def watches(self, node: str, capsule: str) -> bool:
+        return (node, capsule) in self._tracked
+
+    def forget(self, node: str, capsule: str) -> None:
+        self._tracked.pop((node, capsule), None)
+
+    def tracked(self) -> List[EndpointKey]:
+        return sorted(self._tracked)
+
+    def on_transition(self, listener: Callable) -> None:
+        """Register ``listener(key, old_state, new_state, phi)``."""
+        self._listeners.append(listener)
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, node: str, capsule: str) -> None:
+        """A heartbeat from (node, capsule) arrived *now*."""
+        key = (node, capsule)
+        record = self._tracked.get(key)
+        if record is None:
+            return  # unsolicited heartbeat: not monitored
+        now = self.clock.now
+        record.intervals.append(now - record.last_arrival)
+        record.last_arrival = now
+        record.arrivals += 1
+        self.heartbeats_observed += 1
+        if record.state == "suspect":
+            record.state = "alive"
+            self.recoveries += 1
+            self._notify(key, "suspect", "alive", 0.0)
+
+    # -- the accrual value ---------------------------------------------------
+
+    def phi(self, node: str, capsule: str,
+            now: Optional[float] = None) -> float:
+        """Current suspicion level for one endpoint."""
+        record = self._tracked.get((node, capsule))
+        if record is None:
+            return 0.0
+        if now is None:
+            now = self.clock.now
+        elapsed = now - record.last_arrival
+        intervals = record.intervals
+        mean = sum(intervals) / len(intervals)
+        variance = sum((x - mean) ** 2 for x in intervals) / len(intervals)
+        sigma = max(math.sqrt(variance), self.min_stddev_ms)
+        z = (elapsed - mean) / (sigma * math.sqrt(2.0))
+        tail = 0.5 * math.erfc(z)  # P(inter-arrival > elapsed)
+        if tail <= 10.0 ** -PHI_CAP:
+            return PHI_CAP
+        return -math.log10(tail)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def poll(self, now: Optional[float] = None
+             ) -> List[Tuple[EndpointKey, float]]:
+        """Evaluate every endpoint; returns the newly suspected ones."""
+        if now is None:
+            now = self.clock.now
+        newly: List[Tuple[EndpointKey, float]] = []
+        for key in sorted(self._tracked):
+            record = self._tracked[key]
+            if record.state != "alive":
+                continue
+            value = self.phi(key[0], key[1], now)
+            if value > self.threshold:
+                record.state = "suspect"
+                self.suspicions += 1
+                newly.append((key, value))
+                self._notify(key, "alive", "suspect", value)
+        return newly
+
+    # -- aggregated node-level verdicts --------------------------------------
+
+    def node_alive(self, node: str) -> bool:
+        """A node is alive while *any* of its endpoints still is.
+
+        Unknown nodes are presumed alive: absence of monitoring is not
+        evidence of failure.
+        """
+        keys = [k for k in self._tracked if k[0] == node]
+        if not keys:
+            return True
+        return any(self._tracked[k].state == "alive" for k in keys)
+
+    def suspected_nodes(self) -> List[str]:
+        """Nodes whose every monitored endpoint is currently suspect."""
+        nodes = sorted({k[0] for k in self._tracked})
+        return [n for n in nodes if not self.node_alive(n)]
+
+    def all_suspect(self) -> bool:
+        """True when every endpoint is suspect — the signature of a
+        blind *observer* rather than a dead fleet."""
+        return bool(self._tracked) and all(
+            r.state == "suspect" for r in self._tracked.values())
+
+    def reset(self) -> None:
+        """Re-prime every endpoint as alive-as-of-now (observer rehome)."""
+        now = self.clock.now
+        for record in self._tracked.values():
+            record.last_arrival = now
+            record.state = "alive"
+
+    def _notify(self, key: EndpointKey, old: str, new: str,
+                phi: float) -> None:
+        for listener in self._listeners:
+            listener(key, old, new, phi)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "watched": len(self._tracked),
+            "heartbeats_observed": self.heartbeats_observed,
+            "suspicions": self.suspicions,
+            "recoveries": self.recoveries,
+        }

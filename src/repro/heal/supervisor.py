@@ -1,0 +1,336 @@
+"""The per-domain Supervisor: detect -> diagnose -> repair.
+
+RM-ODP's engineering model makes node management a first-class
+engineering object; this is ours.  The supervisor closes the failure
+transparency loop using *only observable behaviour*: the phi-accrual
+detector tells it which endpoints stopped answering heartbeats, and it
+repairs through the platform's ordinary mechanisms —
+
+* a suspected group member is reported to the :class:`GroupRegistry`
+  (view change, exactly as a client-side suspicion would);
+* a group below its replication factor is repaired by **reviving** a
+  voted-out member whose node is heartbeating again (revive + state
+  transfer), or — when no member is revivable — by **replacing** it:
+  a healthy, least-loaded node is chosen via ``mgmt.loadbalance``
+  placement and joined with state transfer;
+* a checkpointed **singleton** whose node went silent is re-instated on
+  a surviving capsule through the :class:`RecoveryManager`; clients
+  chase the move through the relocation layer, none the wiser.
+
+Every detector transition and repair action is recorded as a trace
+span, and the supervisor keeps MTTR/availability counters that
+``TransparencyMonitor.domain_report`` surfaces.
+
+The supervisor never reads :class:`~repro.net.fault.FaultPlan` state:
+detection latency is a measured property of heartbeat period, network
+behaviour and the phi threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import OdpError
+from repro.heal.detector import PhiAccrualDetector
+from repro.heal.heartbeat import HeartbeatMonitor
+
+
+class _GroupHealth:
+    """Availability bookkeeping for one group (virtual-time windows)."""
+
+    __slots__ = ("degraded_since", "unavailable_since")
+
+    def __init__(self) -> None:
+        self.degraded_since: Optional[float] = None
+        self.unavailable_since: Optional[float] = None
+
+
+class Supervisor:
+    """Self-healing supervision for one domain."""
+
+    def __init__(self, domain, interval_ms: float = 20.0,
+                 threshold: float = 8.0, window: int = 64,
+                 poll_interval_ms: Optional[float] = None,
+                 repair: bool = True, recover_singletons: bool = True,
+                 watch_nodes: bool = True) -> None:
+        self.domain = domain
+        self.interval_ms = interval_ms
+        self.poll_interval_ms = (poll_interval_ms
+                                 if poll_interval_ms is not None
+                                 else interval_ms)
+        #: ``repair=False`` gives a detection-only supervisor: members
+        #: are still suspected from observed silence (view changes run),
+        #: but nothing is revived, replaced or recovered.
+        self.repair = repair
+        self.recover_singletons = recover_singletons
+        self.watch_nodes = watch_nodes
+        self.detector = PhiAccrualDetector(
+            domain.scheduler.clock, expected_interval_ms=interval_ms,
+            threshold=threshold, window=window)
+        self.monitor = HeartbeatMonitor(domain, self.detector,
+                                        interval_ms=interval_ms)
+        self.detector.on_transition(self._on_transition)
+        self.poll_event = None
+        self.running = False
+        self._health: Dict[str, _GroupHealth] = {}
+        # Repair/availability counters (all virtual-time).
+        self.suspicions_raised = 0
+        self.revivals = 0
+        self.replacements = 0
+        self.singleton_recoveries = 0
+        self.repair_failures = 0
+        self.mttr_samples: List[float] = []
+        self.degraded_ms = 0.0
+        self.unavailable_ms = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.monitor.start()
+        if self.watch_nodes:
+            # One endpoint per node: the gateway capsule every node gets
+            # at creation — node-level liveness for placement decisions.
+            for address in sorted(self.domain.nuclei):
+                self.monitor.watch(address, "gateway")
+        self._watch_group_members()
+        self.poll_event = self.domain.scheduler.every(
+            self.poll_interval_ms, self._poll, label="heal-poll")
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        if self.poll_event is not None:
+            self.poll_event.cancel()
+            self.poll_event = None
+        self.monitor.stop()
+        # Close any open unavailability windows; an unrepaired outage is
+        # counted as downtime but contributes no MTTR sample.
+        now = self.domain.scheduler.clock.now
+        for health in self._health.values():
+            if health.degraded_since is not None:
+                self.degraded_ms += now - health.degraded_since
+                health.degraded_since = None
+            if health.unavailable_since is not None:
+                self.unavailable_ms += now - health.unavailable_since
+                health.unavailable_since = None
+        self.running = False
+
+    # -- the supervision tick ------------------------------------------------
+
+    def _poll(self) -> None:
+        self._watch_group_members()
+        self.detector.poll()
+        nodes = sorted({key[0] for key in self.detector.tracked()})
+        suspected = self.detector.suspected_nodes()
+        if nodes and len(suspected) * 2 > len(nodes):
+            # A majority of nodes going silent at once is the signature
+            # of a blind observer, not a dead fleet: rotate observation
+            # instead of mass-suspecting healthy members.
+            self.monitor.rehome()
+            self._span("heal.rehome", {"observer": self.monitor.observer,
+                                       "silent": len(suspected)})
+            return
+        self._suspect_members()
+        # Account *before* repairing: a repair that lands this tick is
+        # observed closing its window on the next tick, so MTTR is
+        # measured at supervision-period resolution instead of being
+        # optimistically collapsed to zero.
+        self._update_availability()
+        if self.repair:
+            self._repair_groups()
+            if self.recover_singletons:
+                self._recover_singletons()
+
+    def _watch_group_members(self) -> None:
+        """Heartbeat every group member endpoint (lazily, so groups
+        created after start are picked up on the next tick)."""
+        groups = self.domain.groups
+        for group_id in groups.group_ids():
+            for member in groups.group(group_id).view.members:
+                if not self.monitor.watches(member.node,
+                                            member.capsule_name):
+                    self.monitor.watch(member.node, member.capsule_name)
+
+    def _suspect_members(self) -> None:
+        """Report members on silent nodes to the registry (view change)."""
+        groups = self.domain.groups
+        for group_id in groups.group_ids():
+            group = groups.group(group_id)
+            for member in list(group.view.live_members()):
+                if self.detector.node_alive(member.node):
+                    continue
+                groups.suspect(group_id, member)
+                self.suspicions_raised += 1
+                self._span("heal.suspect",
+                           {"group": group_id, "member": member.index,
+                            "node": member.node})
+
+    # -- repairs -------------------------------------------------------------
+
+    def _repair_groups(self) -> None:
+        from repro.mgmt.loadbalance import placement_candidates
+
+        groups = self.domain.groups
+        for group_id in groups.group_ids():
+            group = groups.group(group_id)
+            # First choice: revive voted-out members whose node is
+            # heartbeating again — cheapest repair, keeps placement.
+            for member in sorted(group.view.members,
+                                 key=lambda m: m.index):
+                if len(group.view.live_members()) >= group.spec.replicas:
+                    break
+                if member.alive or member.layer is None:
+                    continue
+                if not self.detector.node_alive(member.node):
+                    continue
+                try:
+                    groups.revive(group_id, member.index)
+                except OdpError as exc:
+                    self.repair_failures += 1
+                    self._span("heal.revive-failed",
+                               {"group": group_id, "member": member.index,
+                                "error": type(exc).__name__})
+                    continue
+                self.revivals += 1
+                self._span("heal.revive",
+                           {"group": group_id, "member": member.index,
+                            "node": member.node})
+            # Still short, with at least one live member to transfer
+            # state from: join a fresh replica on a healthy node.  (A
+            # fully dead group is *not* replaced with empty replicas —
+            # that would present data loss as availability.)
+            live = group.view.live_members()
+            if not live or len(live) >= group.spec.replicas:
+                continue
+            member_hosts = {m.node for m in group.view.members}
+            capsule_names = sorted({m.capsule_name
+                                    for m in group.view.members})
+            for capsule_name in capsule_names:
+                if len(group.view.live_members()) >= group.spec.replicas:
+                    break
+                for _, capsule in placement_candidates(
+                        self.domain, capsule_name,
+                        liveness=self.detector.node_alive,
+                        exclude=member_hosts):
+                    try:
+                        member = groups.join(group_id, capsule)
+                    except OdpError as exc:
+                        self.repair_failures += 1
+                        self._span("heal.join-failed",
+                                   {"group": group_id,
+                                    "node": capsule.nucleus.node_address,
+                                    "error": type(exc).__name__})
+                        continue
+                    self.replacements += 1
+                    self.monitor.watch(member.node, member.capsule_name)
+                    self._span("heal.replace",
+                               {"group": group_id, "member": member.index,
+                                "node": member.node})
+                    break
+
+    def _recover_singletons(self) -> None:
+        """Re-instate checkpointed singletons whose node went silent."""
+        from repro.mgmt.loadbalance import placement_candidates
+
+        if self.domain._repository is None:
+            return  # nothing was ever checkpointed
+        from repro.recovery.checkpoint import checkpoint_key
+
+        groups = self.domain.groups
+        member_iids = {member.interface_id
+                       for group_id in groups.group_ids()
+                       for member in groups.group(group_id).view.members}
+        relocator = self.domain.relocator
+        prefix = checkpoint_key("")
+        for key in self.domain.repository.keys(kind="checkpoint"):
+            interface_id = key[len(prefix):]
+            if interface_id in member_iids:
+                continue  # group members heal via revive/replace
+            current = relocator.try_lookup(interface_id)
+            if current is None or not current.paths:
+                continue
+            path = current.primary_path()
+            if self.detector.node_alive(path.node):
+                continue
+            for _, capsule in placement_candidates(
+                    self.domain, path.capsule,
+                    liveness=self.detector.node_alive,
+                    exclude=(path.node,)):
+                try:
+                    self.domain.recovery.recover(interface_id, capsule)
+                except OdpError as exc:
+                    self.repair_failures += 1
+                    self._span("heal.recover-failed",
+                               {"interface": interface_id,
+                                "node": capsule.nucleus.node_address,
+                                "error": type(exc).__name__})
+                    continue
+                self.singleton_recoveries += 1
+                self._span("heal.recover",
+                           {"interface": interface_id,
+                            "from": path.node,
+                            "to": capsule.nucleus.node_address})
+                break
+
+    # -- availability accounting ---------------------------------------------
+
+    def _update_availability(self) -> None:
+        now = self.domain.scheduler.clock.now
+        groups = self.domain.groups
+        for group_id in groups.group_ids():
+            group = groups.group(group_id)
+            health = self._health.setdefault(group_id, _GroupHealth())
+            live = len(group.view.live_members())
+            if live == 0:
+                if health.unavailable_since is None:
+                    health.unavailable_since = now
+            elif health.unavailable_since is not None:
+                self.unavailable_ms += now - health.unavailable_since
+                health.unavailable_since = None
+            if live < group.spec.replicas:
+                if health.degraded_since is None:
+                    health.degraded_since = now
+            elif health.degraded_since is not None:
+                duration = now - health.degraded_since
+                self.degraded_ms += duration
+                self.mttr_samples.append(duration)
+                health.degraded_since = None
+
+    # -- instrumentation -----------------------------------------------------
+
+    def _on_transition(self, key, old: str, new: str, phi: float) -> None:
+        self._span("heal.detector",
+                   {"endpoint": f"{key[0]}/{key[1]}", "from": old,
+                    "to": new, "phi": round(phi, 3)})
+
+    def _span(self, name: str, tags: Dict) -> None:
+        tracer = self.domain.tracer
+        root = tracer.start_trace()
+        tracer.span(name, "heal", root,
+                    node=self.monitor.observer, tags=tags).finish()
+
+    def report(self) -> Dict:
+        """MTTR/availability counters for the management plane."""
+        samples = self.mttr_samples
+        return {
+            "detector": self.detector.stats(),
+            "observer": self.monitor.observer,
+            "beats_sent": self.monitor.beats_sent,
+            "rehomes": self.monitor.rehomes,
+            "suspicions_raised": self.suspicions_raised,
+            "revivals": self.revivals,
+            "replacements": self.replacements,
+            "singleton_recoveries": self.singleton_recoveries,
+            "repair_failures": self.repair_failures,
+            "mttr_ms": {
+                "repairs": len(samples),
+                "mean": (round(sum(samples) / len(samples), 3)
+                         if samples else 0.0),
+                "max": round(max(samples), 3) if samples else 0.0,
+            },
+            "degraded_ms": round(self.degraded_ms, 3),
+            "unavailable_ms": round(self.unavailable_ms, 3),
+        }

@@ -27,6 +27,35 @@ class BalanceMove:
     load_share: float
 
 
+def placement_candidates(domain, capsule_name: str, liveness=None,
+                         exclude=()):
+    """Healthy placement targets for a replica or recovered object.
+
+    Returns ``[(nucleus, capsule), ...]`` for every node that hosts a
+    *capsule_name* capsule, is not in *exclude*, and is alive according
+    to *liveness* (a ``node_address -> bool`` callable — typically the
+    supervisor's failure detector; liveness is judged from observed
+    behaviour, never from fault-plan ground truth).  Candidates are
+    ordered least-loaded first (total invocations served across the
+    capsule's interfaces), ties broken by address for determinism.
+    """
+    candidates = []
+    for address in sorted(domain.nuclei):
+        if address in exclude:
+            continue
+        if liveness is not None and not liveness(address):
+            continue
+        nucleus = domain.nuclei[address]
+        capsule = nucleus.capsules.get(capsule_name)
+        if capsule is None:
+            continue
+        load = sum(interface.invocations_served
+                   for interface in capsule.interfaces.values())
+        candidates.append((load, address, nucleus, capsule))
+    candidates.sort(key=lambda entry: (entry[0], entry[1]))
+    return [(nucleus, capsule) for _, _, nucleus, capsule in candidates]
+
+
 class LoadBalancer:
     """Periodically evens interface load across a domain's nodes.
 

@@ -115,6 +115,8 @@ class TransparencyMonitor:
             report["groups"] = {
                 "suspicions": domain.groups.suspicions,
             }
+        if domain._supervisor is not None:
+            report["heal"] = domain.supervisor.report()
         report["resilience"] = self.resilience_report()
         if domain._tracer is not None:
             report["trace"] = self.trace_report()

@@ -158,3 +158,15 @@ class ManagementService(OdpObject):
     @operation(returns=[int], readonly=True)
     def boot_count(self):
         return self._manager.boots
+
+    @operation(returns=["any"], readonly=True)
+    def node_health(self):
+        """Observed liveness of every domain node, as judged by the
+        supervisor's failure detector (empty when no supervisor runs —
+        absence of monitoring is not evidence either way)."""
+        domain = self._manager.domain
+        if domain is None or domain._supervisor is None:
+            return {}
+        detector = domain.supervisor.detector
+        return {address: detector.node_alive(address)
+                for address in sorted(domain.nuclei)}

@@ -37,3 +37,90 @@ def test_replycache_minimal_plan_still_detected():
 def test_replycache_minimal_plan_clean_without_mutation():
     violations = run_all(run_plan(REPLYCACHE_MINIMAL, CheckConfig()))
     assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# Pinned split-brain scenario (epoch fencing)
+# ---------------------------------------------------------------------------
+#
+# Partition + crafted stale invocations are outside the explorer's op
+# vocabulary, so this one is pinned as a direct World scenario: a
+# 3-member group is partitioned with its sequencer in the minority,
+# the majority side elects a new sequencer and keeps writing, and the
+# healed zombie must be *fenced* — not allowed to apply writes under
+# its stale view — until it formally rejoins via revive.
+
+def test_split_brain_zombie_sequencer_is_fenced():
+    import pytest
+
+    from repro import ReplicationSpec, World
+    from repro.comp.invocation import Invocation
+    from repro.engine.remote import invoke_at
+    from repro.errors import EpochFencedError
+    from repro.groups.member import VIEW_KEY
+    from tests.conftest import KvStore
+
+    world = World(seed=2026)
+    for name in ("n1", "n2", "n3", "client-node"):
+        world.node("org", name)
+    domain = world.domain("org")
+    capsules = [world.capsule(n, "srv") for n in ("n1", "n2", "n3")]
+    clients = world.capsule("client-node", "clients")
+    group, gref = domain.groups.create(
+        KvStore, capsules, ReplicationSpec(replicas=3, policy="active",
+                                           reply_quorum=2),
+        group_id="sb.kv")
+    proxy = world.binder_for(clients).bind(gref)
+
+    proxy.put("k", "v0")
+    old_sequencer = group.view.sequencer
+    assert old_sequencer.node == "n1"
+    stale_view = group.view.number
+
+    # Split: the sequencer alone on one side, the quorum on the other.
+    world.partition(["n1"], ["n2", "n3", "client-node"])
+    proxy.put("k", "v1")  # majority side: suspect m0, elect, commit
+    assert group.view.number > stale_view
+    assert not old_sequencer.alive
+    world.heal_partition()
+
+    # The zombie's writes carry the stale view number: fenced.
+    stale_write = Invocation(
+        interface_id=group.view.sequencer.interface_id,
+        operation="put", args=("k", "zombie"))
+    stale_write.context.extra[VIEW_KEY] = stale_view
+    with pytest.raises(EpochFencedError):
+        invoke_at(clients.nucleus, clients, group.view.sequencer.node,
+                  group.view.sequencer.capsule_name,
+                  group.view.sequencer.interface_id, stale_write)
+
+    # Even unstamped traffic aimed at the voted-out member is fenced.
+    direct = Invocation(interface_id=old_sequencer.interface_id,
+                        operation="put", args=("k", "diverged"))
+    with pytest.raises(EpochFencedError):
+        invoke_at(clients.nucleus, clients, old_sequencer.node,
+                  old_sequencer.capsule_name,
+                  old_sequencer.interface_id, direct)
+
+    assert proxy.get("k") == "v1"  # no zombie write ever landed
+
+    # Formal rejoin: revive + state transfer, then the ledger is one.
+    domain.groups.revive("sb.kv", old_sequencer.index)
+    proxy.put("k", "v2")
+    states = []
+    for member in group.view.members:
+        _, interface = domain.groups._plumbing[("sb.kv", member.index)]
+        states.append(dict(interface.implementation.data))
+    assert states == [{"k": "v2"}] * 3
+
+
+def test_supervisor_mode_plan_is_deterministic():
+    from repro.check.explorer import run_seed
+
+    config = CheckConfig().with_supervisor()
+    first = run_seed(7, config)
+    second = run_seed(7, config)
+    assert run_all(first) == []
+    assert first.digest == second.digest
+    heal = first.end_state["heal"]
+    assert heal["detector"]["heartbeats_observed"] > 0
