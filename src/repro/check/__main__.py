@@ -41,6 +41,12 @@ def _parse(argv: Optional[List[str]]) -> argparse.Namespace:
                              "(repro.heal) during every plan; the "
                              "self_heal oracle then requires groups to "
                              "regain full replication factor")
+    parser.add_argument("--batching", action="store_true",
+                        help="drive part of the workload through the "
+                             "high-throughput layer (repro.perf): "
+                             "batch_burst ops via a BatchClient, with "
+                             "token-bucket admission control shedding "
+                             "overload on every server")
     parser.add_argument("--shrink", action="store_true",
                         help="shrink the first failing plan and print "
                              "a reproduction script")
@@ -58,11 +64,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = config.with_mutations(*args.mutate)
     if args.supervisor:
         config = config.with_supervisor()
+    if args.batching:
+        config = config.with_batching()
 
     print(f"repro.check: {args.seeds} seeds from {args.base_seed}, "
           f"{config.ops} ops/plan, mutations="
           f"{list(config.mutations) or 'none'}, "
-          f"supervisor={'on' if config.supervisor else 'off'}")
+          f"supervisor={'on' if config.supervisor else 'off'}, "
+          f"batching={'on' if config.batching else 'off'}")
 
     started = time.monotonic()
     per_oracle = {name: 0 for name in ORACLES}

@@ -75,6 +75,14 @@ class CheckConfig:
     #: Virtual ms granted after chaos ends for the supervisor to finish
     #: repairs before final observations are taken.
     supervisor_grace_ms: float = 500.0
+    #: Drive part of the workload through the high-throughput layer
+    #: (repro.perf): plans gain ``batch_burst`` ops issued through a
+    #: BatchClient, and every server nucleus gets a token-bucket
+    #: admission controller sized so bursts occasionally queue and shed.
+    batching: bool = False
+
+    def with_batching(self) -> "CheckConfig":
+        return replace(self, batching=True)
 
     def with_mutations(self, *names: str) -> "CheckConfig":
         for name in names:
@@ -100,7 +108,9 @@ class RunResult:
     events: List[Dict[str, Any]]
     end_state: Dict[str, Any]
     digest: str
-    #: name -> {"acked": n, "ambiguous": n} for every counter.
+    #: name -> {"acked": n, "ambiguous": n, "shed": n} per counter.
+    #: Shed increments (ServerBusyError) definitely did not execute, so
+    #: they widen neither bound of the exactly-once envelope.
     counters: Dict[str, Dict[str, int]]
     counter_final: Dict[str, Optional[int]]
     #: Client-side account model (committed transfers applied).
@@ -181,7 +191,8 @@ class _Run:
         for i in range(config.counters):
             self._place(f"c{i}", Counter(),
                         EnvironmentConstraints())
-            self.counters[f"c{i}"] = {"acked": 0, "ambiguous": 0}
+            self.counters[f"c{i}"] = {"acked": 0, "ambiguous": 0,
+                                      "shed": 0}
         for i in range(config.accounts):
             self._place(f"a{i}", Account(config.initial_balance),
                         EnvironmentConstraints(concurrency=True))
@@ -199,6 +210,23 @@ class _Run:
         if config.supervisor:
             self.supervisor = self.domain.supervisor
             self.supervisor.start()
+
+        self.batcher = None
+        if config.batching:
+            from repro.perf import AdmissionController, BatchClient, \
+                BatchPolicy
+            # Sized against the plan shape: ~12 tokens refill per
+            # op-budget slot, burst below the largest generated burst,
+            # bound low enough that back-to-back bursts shed — the shed
+            # path must actually run, or its oracle handling is vacuous.
+            for node in SERVER_NODES:
+                nucleus = self.srv[node].nucleus
+                nucleus.admission = AdmissionController(
+                    self.world.clock, rate_per_s=500.0, burst=4,
+                    max_queue=3)
+            self.batcher = BatchClient(
+                self.app, BatchPolicy(max_batch=8, linger_ms=0.5),
+                qos=self.qos)
 
         self.schedule = FaultSchedule(*plan.windows)
         if plan.windows:
@@ -246,13 +274,57 @@ class _Run:
     def _op_invoke(self, op):
         name = self._counter_name(op)
         outcome, value = self._attempt(self.proxies[name].increment)
+        self._count_increment(name, outcome)
+        return outcome, value
+
+    def _count_increment(self, name: str, outcome: str) -> None:
         if outcome == "ok":
             self.counters[name]["acked"] += 1
+        elif outcome == "failed:ServerBusyError":
+            # The shed contract: a ServerBusyError surfacing to the
+            # caller means the final attempt was rejected *before*
+            # dispatch and the earlier ones definitely did not execute
+            # either (an executed attempt is answered from the reply
+            # cache, never shed).  Unacked, not ambiguous.
+            self.counters[name]["shed"] += 1
         else:
             # Anything else is ambiguous: the increment may or may not
             # have executed before the failure (0-or-1 bound).
             self.counters[name]["ambiguous"] += 1
-        return outcome, value
+
+    def _op_batch_burst(self, op):
+        """n concurrent increments of one counter, coalesced when the
+        batch client is on (default config: a plain serial burst, so
+        pinned batching plans still run everywhere)."""
+        name = self._counter_name(op)
+        n = max(2, int(op.get("n", 2)))
+        if self.batcher is None:
+            outcomes = []
+            for _ in range(n):
+                outcome, _value = self._attempt(
+                    self.proxies[name].increment)
+                self._count_increment(name, outcome)
+                outcomes.append(outcome)
+        else:
+            ref = self.proxies[name]._ref
+            futures = [self.batcher.call(ref, "increment")
+                       for _ in range(n)]
+            # Let the linger timer fire (size-triggered flushes have
+            # already gone out), then fold each member's outcome.
+            self.world.scheduler.run_until(
+                self.world.now + self.batcher.policy.linger_ms + 0.01)
+            self.batcher.flush()
+            outcomes = []
+            for future in futures:
+                outcome, _value = self._attempt(future.result)
+                self._count_increment(name, outcome)
+                outcomes.append(outcome)
+        summary = {}
+        for outcome in outcomes:
+            summary[outcome] = summary.get(outcome, 0) + 1
+        label = ",".join(f"{key}x{summary[key]}"
+                         for key in sorted(summary))
+        return ("ok" if set(outcomes) == {"ok"} else "mixed"), label
 
     def _op_read(self, op):
         name = self._counter_name(op)
@@ -536,6 +608,13 @@ class _Run:
         }
         if self.supervisor is not None:
             end_state["heal"] = self.supervisor.report()
+        if self.batcher is not None:
+            end_state["perf"] = {
+                "batcher": self.batcher.stats(),
+                "admission": {
+                    node: self.srv[node].nucleus.admission.stats()
+                    for node in SERVER_NODES},
+            }
         digest = digest_run(repr(self.plan), self.history.events,
                             end_state)
         return RunResult(

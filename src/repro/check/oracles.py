@@ -37,6 +37,13 @@ def exactly_once(result) -> List[Violation]:
     Every acknowledged increment executed exactly once (the reply cache
     absorbed retransmissions); every failed one executed zero or one
     times.  So: acked <= final <= acked + ambiguous.
+
+    Shed increments (``ServerBusyError`` from admission control) are a
+    *stronger* promise than failure: the server rejected them before
+    dispatch, so they executed exactly zero times.  They count as
+    unacked — widening neither bound — which makes this oracle the
+    check that shedding really does happen before execution: a server
+    that sheds after executing shows up as final > acked + ambiguous.
     """
     violations = []
     for name in sorted(result.counters):
@@ -45,12 +52,14 @@ def exactly_once(result) -> List[Violation]:
             continue  # collected or unreadable: no final observation
         acked = result.counters[name]["acked"]
         ambiguous = result.counters[name]["ambiguous"]
+        shed = result.counters[name].get("shed", 0)
         if not acked <= final <= acked + ambiguous:
             violations.append(Violation(
                 "exactly_once",
                 f"counter {name}: final={final} outside "
                 f"[{acked}, {acked + ambiguous}] "
-                f"(acked={acked}, ambiguous={ambiguous})"))
+                f"(acked={acked}, ambiguous={ambiguous}, "
+                f"shed={shed} — shed must not execute)"))
     return violations
 
 

@@ -37,6 +37,7 @@ OP_KINDS = (
     "gc_sweep",         # run the distributed collector once
     "advance",          # advance the virtual clock (lease/lifecycle time)
     "lose_reply",       # deterministically drop the next reply leg
+    "batch_burst",      # n concurrent increments through the batch client
 )
 
 
@@ -124,22 +125,32 @@ _OP_WEIGHTS = (
     ("advance", 8),
     ("lose_reply", 4),
 )
-_TOTAL_WEIGHT = sum(weight for _, weight in _OP_WEIGHTS)
+#: With batching enabled the table gains bursts of concurrent
+#: increments driven through the BatchClient.  A *separate* table, not
+#: an extra default row: plan generation is a pure function of
+#: (seed, config), and widening the default table would silently change
+#: every pinned plan and digest in the regression corpus.
+_OP_WEIGHTS_BATCHING = _OP_WEIGHTS + (("batch_burst", 10),)
 
 _KEYS = ("k0", "k1", "k2", "k3", "k4", "k5")
 
 
-def _pick_kind(rng: DeterministicRandom) -> str:
-    roll = rng.randint(1, _TOTAL_WEIGHT)
-    for kind, weight in _OP_WEIGHTS:
+def _pick_kind(rng: DeterministicRandom, weights=_OP_WEIGHTS) -> str:
+    roll = rng.randint(1, sum(weight for _, weight in weights))
+    for kind, weight in weights:
         roll -= weight
         if roll <= 0:
             return kind
-    return _OP_WEIGHTS[-1][0]
+    return weights[-1][0]
 
 
 def _generate_op(rng: DeterministicRandom, config, index: int) -> Op:
-    kind = _pick_kind(rng)
+    weights = (_OP_WEIGHTS_BATCHING
+               if getattr(config, "batching", False) else _OP_WEIGHTS)
+    kind = _pick_kind(rng, weights)
+    if kind == "batch_burst":
+        return Op(kind, counter=rng.randint(0, config.counters - 1),
+                  n=rng.randint(2, 10))
     if kind == "invoke" or kind == "read":
         return Op(kind, counter=rng.randint(0, config.counters - 1))
     if kind == "transfer" or kind == "cancel_transfer":

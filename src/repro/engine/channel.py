@@ -37,8 +37,10 @@ from repro.errors import (
     MessageLostError,
     NodeUnreachableError,
     ProtocolMismatchError,
+    ServerBusyError,
 )
 from repro.ndr.formats import get_format
+from repro.ndr.plancache import PlanCache
 from repro.resilience.retry import RetryPolicy
 from repro.trace.context import current_trace
 from repro.trace.span import NULL_SPAN
@@ -62,8 +64,17 @@ class Channel:
         self.invocations = 0
 
     def rebind(self, new_ref: InterfaceRef) -> None:
-        """Point the channel at a new reference (location transparency)."""
+        """Point the channel at a new reference (location transparency).
+
+        Everything the transport memoised against the old reference —
+        selected paths, codec plans keyed by interface id and epoch —
+        is stale the moment the reference changes, so the transport is
+        told to drop its caches.
+        """
         self.ref = new_ref
+        on_rebind = getattr(self.transport, "on_rebind", None)
+        if on_rebind is not None:
+            on_rebind()
 
     def invoke(self, operation: str, args: Tuple = (),
                kind: InvocationKind = InvocationKind.INTERROGATION,
@@ -175,14 +186,39 @@ class TransportLayer:
         self.retries = 0
         self.backoff_wait_ms = 0.0
         self.path_failovers = 0
+        self.busy_retries = 0
+        #: Memoised codec plans for this channel's hot invocations; the
+        #: nucleus keeps the registry for domain_report()["perf"].
+        self.plan_cache = PlanCache()
+        client_nucleus.plan_caches.append(self.plan_cache)
+        client_nucleus.transports.append(self)
+        #: Path selection memo, keyed by the QoS protocol constraint and
+        #: valid only for the reference it was computed against.
+        self._path_cache: dict = {}
+        self._path_cache_ref: Optional[InterfaceRef] = None
 
     def attach(self, channel: Channel) -> None:
         self.channel = channel
+
+    def on_rebind(self) -> None:
+        """The channel's reference changed: drop every per-ref memo."""
+        self._path_cache.clear()
+        self._path_cache_ref = None
+        self.plan_cache.invalidate()
 
     # -- path selection ---------------------------------------------------------
 
     def _select_path(self, qos: QoS) -> Tuple[AccessPath, ...]:
         ref = self.channel.ref
+        if ref is not self._path_cache_ref:
+            # Rebinds funnel through on_rebind(), but a layer may swap
+            # channel.ref directly — identity-check every call so a
+            # stale memo can never outlive the reference it described.
+            self._path_cache.clear()
+            self._path_cache_ref = ref
+        cached = self._path_cache.get(qos.protocol)
+        if cached is not None:
+            return cached
         if not ref.paths:
             raise BindingError(
                 f"reference {ref.interface_id} carries no access paths")
@@ -191,28 +227,43 @@ class TransportLayer:
             if not paths:
                 raise ProtocolMismatchError(
                     f"no access path speaks protocol {qos.protocol!r}")
-            return paths
-        return ref.paths
+        else:
+            paths = ref.paths
+        self._path_cache[qos.protocol] = paths
+        return paths
 
     # -- encode/decode ------------------------------------------------------------
 
     def _encode(self, invocation: Invocation, path: AccessPath) -> bytes:
         wire = get_format(path.wire_format)
         marshaller = self.nucleus.marshaller_for(self.capsule)
+        args_obj = marshaller.marshal_args(invocation.args)
+        ctx_obj = Nucleus.encode_context(invocation.context)
+        # The invocation id is what makes server-side dedup possible;
+        # the legacy transport omits it and is therefore at-least-once.
+        has_inv_id = bool(self.resilience_enabled
+                          and invocation.invocation_id)
+        if self.plan_cache.enabled:
+            plan = self.plan_cache.plan_for(
+                wire, path.capsule, invocation.interface_id,
+                invocation.operation, invocation.kind.value,
+                invocation.epoch, has_inv_id)
+            member = plan.encode_member(
+                args_obj, ctx_obj,
+                invocation.invocation_id if has_inv_id else None)
+            return plan.encode_single(member)
         envelope = {
             "capsule": path.capsule,
             "inv": {
                 "id": invocation.interface_id,
                 "op": invocation.operation,
-                "args": marshaller.marshal_args(invocation.args),
+                "args": args_obj,
                 "kind": invocation.kind.value,
                 "epoch": invocation.epoch,
-                "ctx": Nucleus.encode_context(invocation.context),
+                "ctx": ctx_obj,
             },
         }
-        # The invocation id is what makes server-side dedup possible;
-        # the legacy transport omits it and is therefore at-least-once.
-        if self.resilience_enabled and invocation.invocation_id:
+        if has_inv_id:
             envelope["inv"]["inv_id"] = invocation.invocation_id
         return wire.dumps(envelope)
 
@@ -442,6 +493,33 @@ class TransportLayer:
                         breaker.record_failure()
                     last_unreachable = exc
                     break  # try the next access path
+                except ServerBusyError:
+                    # The server shed the invocation *before* executing
+                    # it — retrying is always safe, and since overload
+                    # is a property of the server rather than the path,
+                    # failing over to a sibling path of the same target
+                    # would not help: back off and retry here instead.
+                    # Not a breaker signal — the server answered.
+                    self.busy_retries += 1
+                    stats.retries += 1
+                    if not resilient or attempt + 1 >= attempts:
+                        raise
+                    delay = policy.delay_ms(attempt, self._retry_rng)
+                    if deadline is not None:
+                        delay = min(delay, max(
+                            0.0,
+                            deadline - self.network.scheduler.now))
+                    self.backoff_wait_ms += delay
+                    stats.backoff_wait_ms += delay
+                    backoff_span = NULL_SPAN
+                    if traced:
+                        backoff_span = tracer.span(
+                            "resilience.backoff", "resilience",
+                            parent_ctx,
+                            node=self.nucleus.node_address,
+                            tags={"delay_ms": delay, "cause": "busy"})
+                    self.network.scheduler.clock.advance(delay)
+                    backoff_span.finish()
                 except Exception as exc:
                     net_span.tag(
                         "error", type(exc).__name__).finish(status="error")

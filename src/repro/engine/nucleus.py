@@ -20,7 +20,7 @@ from repro.comp.invocation import (
 from repro.comp.outcomes import Termination
 from repro.engine.capsule import Capsule
 from repro.engine.wire_errors import encode_error
-from repro.errors import MarshalError, OdpError
+from repro.errors import MarshalError, OdpError, ServerBusyError
 from repro.comp.reference import AccessPath
 from repro.ndr.codec import Marshaller
 from repro.ndr.formats import get_format
@@ -56,6 +56,17 @@ class Nucleus:
         #: every transport this node's capsules open.
         self.breakers = BreakerRegistry(network.scheduler.clock)
         self.resilience = ResilienceStats()
+        #: Optional admission controller guarding the dispatch path
+        #: (see repro.perf.admission).  None: accept everything, which
+        #: keeps default-seeded histories byte-identical to older runs.
+        self.admission = None
+        #: Codec plan caches opened against this node (transports and
+        #: batchers register here) — management visibility only.
+        self.plan_caches = []
+        #: BatchClients issuing from this node, for the same reason.
+        self.batchers = []
+        #: TransportLayers opened by this node's capsules, likewise.
+        self.transports = []
         self._tracer = None
         node.on_request(self._handle_request)
         node.on_deliver("invoke", self._handle_announcement)
@@ -183,6 +194,9 @@ class Nucleus:
         except MarshalError:
             return FORMAT_ERROR_REPLY
 
+        if "batch" in envelope:
+            return self._handle_batch(source, envelope)
+
         span = NULL_SPAN
         trace_ctx = None
         if b"trace" in payload:  # cheap pre-filter: no trace, no spans
@@ -237,6 +251,12 @@ class Nucleus:
             return self.wire.dumps(reply)
 
         marshaller = self.marshaller_for(capsule)
+        if self.admission is not None:
+            busy = self._admit(span)
+            if busy is not None:
+                span.finish(status="error")
+                return self.wire.dumps(
+                    {"error": encode_error(busy, marshaller)})
         try:
             unmarshal_span = NULL_SPAN
             if span.span is not None and self.tracer.verbose:
@@ -265,6 +285,155 @@ class Nucleus:
             self.reply_cache.store(invocation_id, encoded)
         span.finish("ok" if "term" in reply else "error")
         return encoded
+
+    # -- admission + batching ------------------------------------------------
+
+    def _admit(self, parent_span) -> Any:
+        """Pass one invocation through admission control.
+
+        Returns ``None`` when admitted (after charging any queue wait to
+        the virtual clock, so queueing delay is part of the measured
+        server latency) or the :class:`ServerBusyError` when shed.
+        """
+        try:
+            wait_ms = self.admission.admit()
+        except ServerBusyError as exc:
+            if parent_span.span is not None:
+                self.tracer.span(
+                    "perf.shed", "perf", parent_span,
+                    node=self.node.address,
+                    tags={"shed_total": self.admission.shed},
+                ).finish(status="shed")
+            parent_span.tag("error", "ServerBusyError")
+            return exc
+        if wait_ms > 0.0:
+            queue_span = NULL_SPAN
+            if parent_span.span is not None:
+                queue_span = self.tracer.span(
+                    "perf.queue", "perf", parent_span,
+                    node=self.node.address,
+                    tags={"wait_ms": round(wait_ms, 3)})
+            self.network.scheduler.clock.advance(wait_ms)
+            queue_span.finish()
+        return None
+
+    def _handle_batch(self, source: str,
+                      envelope: Dict[str, Any]) -> bytes:
+        """Dispatch a multi-invocation message; one combined reply.
+
+        Each member keeps its individual semantics: reply-cache dedup by
+        ``inv_id`` (a batched execution answers a later single-message
+        retransmission and vice versa — the cached bytes are the same
+        single-reply encoding), per-member admission, per-member server
+        trace spans parented at that member's carried context, and
+        per-member processing time.  Only the *message* costs — network
+        legs and the demux charge below — are paid once, which is the
+        entire point of batching.
+        """
+        self.requests_handled += 1
+        self.network.scheduler.clock.advance(self.processing_ms)
+        capsule = self.capsules.get(envelope.get("capsule", ""))
+        if capsule is None:
+            return self.wire.dumps(
+                {"error": {"code": "stale",
+                           "msg": f"no capsule "
+                                  f"{envelope.get('capsule')!r} on "
+                                  f"{self.node.address}"}})
+        marshaller = self.marshaller_for(capsule)
+        members = envelope.get("batch")
+        if not isinstance(members, list):
+            return self.wire.dumps(
+                {"error": {"code": "marshal",
+                           "msg": "malformed batch envelope"}})
+        # Pre-pass at the batch's arrival instant: reply-cache hits are
+        # answered without consuming admission tokens (they already
+        # executed), and every remaining member takes its admission
+        # verdict *now*, before any member's queue wait or processing
+        # advances the clock — the whole batch arrives at once, so
+        # later members must see the queue their predecessors just
+        # built, not a bucket refilled by their waits.  This is what
+        # makes a bounded queue actually overflow (and shed) under a
+        # burst instead of serialising it invisibly.
+        arrival = self.network.scheduler.clock.now
+        verdicts: list = []
+        for obj in members:
+            if not isinstance(obj, dict):
+                verdicts.append(("malformed", None))
+                continue
+            invocation_id = obj.get("inv_id", "")
+            cached = (self.reply_cache.lookup(invocation_id)
+                      if invocation_id else None)
+            if cached is not None:
+                verdicts.append(("cached", self.wire.loads(cached)))
+                continue
+            if self.admission is None:
+                verdicts.append(("run", 0.0))
+                continue
+            try:
+                verdicts.append(("run", self.admission.admit()))
+            except ServerBusyError as exc:
+                verdicts.append(("shed", exc))
+        replies = [
+            self._dispatch_member(source, capsule, marshaller, obj,
+                                  verdict, detail, arrival)
+            for obj, (verdict, detail) in zip(members, verdicts)]
+        return self.wire.dumps({"replies": replies})
+
+    def _dispatch_member(self, source: str, capsule, marshaller,
+                         obj: Any, verdict: str, detail: Any,
+                         arrival: float) -> Dict[str, Any]:
+        if verdict == "malformed":
+            return {"error": {"code": "marshal",
+                              "msg": "malformed batch member"}}
+        if verdict == "cached":
+            return detail
+
+        span = NULL_SPAN
+        ctx_obj = obj.get("ctx")
+        trace_ctx = (TraceContext.from_wire(ctx_obj.get("trace"))
+                     if isinstance(ctx_obj, dict) else None)
+        if trace_ctx is not None:
+            span = self.tracer.span(
+                f"server:{obj.get('op', 'request')}", "server", trace_ctx,
+                node=self.node.address,
+                tags={"from": source, "batched": True})
+
+        if verdict == "shed":
+            if span.span is not None:
+                self.tracer.span(
+                    "perf.shed", "perf", span, node=self.node.address,
+                    tags={"shed_total": self.admission.shed},
+                ).finish(status="shed")
+            span.tag("error", "ServerBusyError").finish(status="error")
+            return {"error": encode_error(detail, marshaller)}
+
+        clock = self.network.scheduler.clock
+        wait_until = arrival + detail  # detail: wait_ms from admission
+        if wait_until > clock.now:
+            queue_span = NULL_SPAN
+            if span.span is not None:
+                queue_span = self.tracer.span(
+                    "perf.queue", "perf", span, node=self.node.address,
+                    tags={"wait_ms": round(wait_until - clock.now, 3)})
+            clock.advance(wait_until - clock.now)
+            queue_span.finish()
+        invocation_id = obj.get("inv_id", "")
+        clock.advance(self.processing_ms)
+        try:
+            invocation = self._decode_invocation(capsule, obj)
+            if span.span is not None:
+                invocation.context.trace = span
+            elif trace_ctx is not None:
+                invocation.context.trace = trace_ctx
+            termination = capsule.dispatch(invocation)
+            reply = {"term": marshaller.marshal(termination)}
+        except OdpError as exc:
+            reply = {"error": encode_error(exc, marshaller)}
+            span.tag("error", type(exc).__name__)
+        if invocation_id and "term" in reply:
+            self.reply_cache.store(invocation_id, self.wire.dumps(reply))
+        span.finish("ok" if "term" in reply else "error")
+        return reply
 
     def _handle_txctl(self, capsule, control: Dict[str, Any]
                       ) -> Dict[str, Any]:

@@ -15,6 +15,7 @@ from repro.ndr.codec import Marshaller
 
 #: code -> exception class; order matters for encoding (subclasses first).
 _CODES = (
+    ("server_busy", errors.ServerBusyError),
     ("busy", errors.LockBusyError),
     ("deadlock", errors.DeadlockError),
     ("lock_timeout", errors.LockTimeoutError),

@@ -58,6 +58,20 @@ class ProtocolMismatchError(CommunicationError):
     """Client and server share no common protocol / wire format."""
 
 
+class ServerBusyError(CommunicationError):
+    """The server shed the invocation before executing it (overload).
+
+    Raised by the admission controller (``repro.perf``) when the token
+    bucket is exhausted and the bounded dispatch queue is full.  Unlike
+    an ambiguous communication failure, a shed invocation has
+    *definitely not executed* — retrying is always safe, so the error
+    is marked retryable and the transport backs off and retransmits
+    within the QoS budget instead of reporting it upward.
+    """
+
+    retryable = True
+
+
 class BindingError(OdpError):
     """The binder could not construct a channel to the target interface."""
 

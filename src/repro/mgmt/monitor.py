@@ -118,9 +118,53 @@ class TransparencyMonitor:
         if domain._supervisor is not None:
             report["heal"] = domain.supervisor.report()
         report["resilience"] = self.resilience_report()
+        report["perf"] = self.perf_report()
         if domain._tracer is not None:
             report["trace"] = self.trace_report()
         return report
+
+    def perf_report(self) -> Dict[str, Any]:
+        """Throughput machinery counters: admission control, codec plan
+        caches and invocation batchers across the domain's nuclei."""
+        admission = {"controllers": 0, "admitted": 0, "queued": 0,
+                     "shed": 0, "max_depth": 0, "total_wait_ms": 0.0}
+        plans = {"caches": 0, "plans": 0, "hits": 0, "misses": 0,
+                 "invalidations": 0}
+        batching = {"batchers": 0, "calls": 0, "batches_sent": 0,
+                    "invocations_batched": 0, "retransmits": 0,
+                    "busy_failures": 0}
+        busy_retries = 0
+        for nucleus in self.domain.nuclei.values():
+            controller = nucleus.admission
+            if controller is not None:
+                stats = controller.stats()
+                admission["controllers"] += 1
+                admission["admitted"] += stats["admitted"]
+                admission["queued"] += stats["queued"]
+                admission["shed"] += stats["shed"]
+                admission["max_depth"] = max(admission["max_depth"],
+                                             stats["max_depth"])
+                admission["total_wait_ms"] += stats["total_wait_ms"]
+            for cache in nucleus.plan_caches:
+                stats = cache.stats()
+                plans["caches"] += 1
+                plans["plans"] += stats["plans"]
+                plans["hits"] += stats["hits"]
+                plans["misses"] += stats["misses"]
+                plans["invalidations"] += stats["invalidations"]
+            for batcher in nucleus.batchers:
+                stats = batcher.stats()
+                batching["batchers"] += 1
+                batching["calls"] += stats["calls"]
+                batching["batches_sent"] += stats["batches_sent"]
+                batching["invocations_batched"] += \
+                    stats["invocations_batched"]
+                batching["retransmits"] += stats["retransmits"]
+                batching["busy_failures"] += stats["busy_failures"]
+            for transport in nucleus.transports:
+                busy_retries += transport.busy_retries
+        return {"admission": admission, "plan_cache": plans,
+                "batching": batching, "busy_retries": busy_retries}
 
     def trace_report(self) -> Dict[str, Any]:
         """Causal-tracing snapshot: collector counters plus the

@@ -1,0 +1,175 @@
+"""Codec plan caching: memoised marshalling plans for hot invocations.
+
+The generic encoder (``WireFormat.dumps``) walks the envelope dict on
+every invocation: sort the keys, dispatch on the type of every value,
+re-encode the interface id, operation name, epoch and framing bytes that
+have not changed since the last call on the same channel.  On the hot
+path that walk dominates marshalling cost.
+
+An :class:`InvocationPlan` freezes the constant parts of one
+(wire format, capsule, interface, operation, kind, epoch) combination
+into pre-encoded byte chunks, leaving *holes* for the three values that
+genuinely vary per call — the marshalled argument list, the invocation
+context, and the invocation id.  Encoding then interleaves the cached
+chunks with three ``_write`` calls instead of re-walking the whole
+envelope.
+
+Format subtlety: PACKED containers carry only an entry *count*, so
+constant chunks splice byte-for-byte.  TAGGED containers length-prefix
+their body (``map[n]#bodylen#``), so the plan assembles the body from
+the same chunks and recomputes the header — structural caching rather
+than blind splicing.  Either way the output is byte-identical to the
+generic walk; ``tests/test_ndr_golden.py`` pins that equivalence so the
+cache can never silently drift the wire format.
+
+Invalidation: plans embed the reference's identity and epoch, so a
+channel drops its cache whenever the reference changes —
+:meth:`~repro.engine.channel.Channel.rebind` (relocation repair,
+federation re-translation) calls :meth:`PlanCache.invalidate`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ndr.formats import PackedFormat, WireFormat
+
+
+def _chunk(fmt: WireFormat, *objs: Any) -> bytes:
+    """Encode constant values with the format's own writer."""
+    out: List[bytes] = []
+    for obj in objs:
+        fmt._write(obj, out)
+    return b"".join(out)
+
+
+class InvocationPlan:
+    """Frozen encoding plan for one invocation shape on one path.
+
+    ``encode_member`` produces the bytes of the ``inv`` dict alone (a
+    *member*), which is the unit both envelope shapes are assembled
+    from: ``encode_single`` wraps one member into the classic
+    ``{"capsule", "inv"}`` request, :func:`encode_batch` wraps many into
+    a ``{"batch", "capsule"}`` multi-invocation message.
+    """
+
+    __slots__ = ("fmt", "packed", "entries", "pre_args", "pre_ctx",
+                 "pre_inv_id", "tail", "has_inv_id", "_packed_header",
+                 "_single_prefix", "_capsule_kv", "_inv_key")
+
+    def __init__(self, fmt: WireFormat, capsule: str, interface_id: str,
+                 operation: str, kind: str, epoch: int,
+                 has_inv_id: bool) -> None:
+        self.fmt = fmt
+        self.packed = isinstance(fmt, PackedFormat)
+        self.has_inv_id = has_inv_id
+        # Sorted key order inside the inv dict is fixed by the formats:
+        # args < ctx < epoch < id < inv_id < kind < op.
+        self.entries = 7 if has_inv_id else 6
+        self.pre_args = _chunk(fmt, "args")
+        self.pre_ctx = _chunk(fmt, "ctx")
+        mid = _chunk(fmt, "epoch", epoch, "id", interface_id)
+        if has_inv_id:
+            self.pre_inv_id = mid + _chunk(fmt, "inv_id")
+        else:
+            self.pre_inv_id = mid
+        self.tail = _chunk(fmt, "kind", kind, "op", operation)
+        self._packed_header = (
+            b"d" + struct.pack(">I", self.entries) if self.packed else b"")
+        self._capsule_kv = _chunk(fmt, "capsule", capsule)
+        self._inv_key = _chunk(fmt, "inv")
+        if self.packed:
+            self._single_prefix = (fmt._MAGIC + b"d\x00\x00\x00\x02"
+                                   + self._capsule_kv + self._inv_key)
+        else:
+            self._single_prefix = b""
+
+    def encode_member(self, args_obj: List[Any], ctx_obj: Dict[str, Any],
+                      inv_id: Optional[str]) -> bytes:
+        """The ``inv`` dict bytes: cached chunks + three variable holes."""
+        fmt = self.fmt
+        out: List[bytes] = [self.pre_args]
+        fmt._write(args_obj, out)
+        out.append(self.pre_ctx)
+        fmt._write(ctx_obj, out)
+        out.append(self.pre_inv_id)
+        if self.has_inv_id:
+            fmt._write(inv_id, out)
+        out.append(self.tail)
+        body = b"".join(out)
+        if self.packed:
+            return self._packed_header + body
+        return f"map[{self.entries}]#{len(body)}#".encode("ascii") + body
+
+    def encode_single(self, member: bytes) -> bytes:
+        """Wrap one member into a complete request envelope."""
+        if self.packed:
+            return self._single_prefix + member
+        body = self._capsule_kv + self._inv_key + member
+        return (self.fmt._MAGIC
+                + f"map[2]#{len(body)}#".encode("ascii") + body)
+
+
+def encode_batch(fmt: WireFormat, capsule: str,
+                 members: List[bytes]) -> bytes:
+    """Wrap member bytes into a ``{"batch": [...], "capsule": ...}``
+    multi-invocation envelope (sorted key order: batch < capsule)."""
+    joined = b"".join(members)
+    if isinstance(fmt, PackedFormat):
+        return (fmt._MAGIC + b"d\x00\x00\x00\x02"
+                + _chunk(fmt, "batch")
+                + b"l" + struct.pack(">I", len(members)) + joined
+                + _chunk(fmt, "capsule", capsule))
+    body = (_chunk(fmt, "batch")
+            + f"list[{len(members)}]#{len(joined)}#".encode("ascii")
+            + joined
+            + _chunk(fmt, "capsule", capsule))
+    return fmt._MAGIC + f"map[2]#{len(body)}#".encode("ascii") + body
+
+
+class PlanCache:
+    """Per-channel (or per-batcher) store of invocation plans."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._plans: Dict[Tuple, InvocationPlan] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def plan_for(self, fmt: WireFormat, capsule: str, interface_id: str,
+                 operation: str, kind: str, epoch: int,
+                 has_inv_id: bool) -> InvocationPlan:
+        key = (fmt.name, capsule, interface_id, operation, kind, epoch,
+               has_inv_id)
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            plan = InvocationPlan(fmt, capsule, interface_id, operation,
+                                  kind, epoch, has_inv_id)
+            self._plans[key] = plan
+        else:
+            self.hits += 1
+        return plan
+
+    def invalidate(self, interface_id: Optional[str] = None) -> None:
+        """Drop plans — all of them (rebind: the whole path may have
+        changed) or those of one interface (federation translation)."""
+        if interface_id is None:
+            dropped = len(self._plans)
+            self._plans.clear()
+        else:
+            stale = [key for key in self._plans if key[2] == interface_id]
+            for key in stale:
+                del self._plans[key]
+            dropped = len(stale)
+        self.invalidations += dropped
+
+    def stats(self) -> Dict[str, int]:
+        return {"plans": len(self._plans), "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations}
+
+    def __len__(self) -> int:
+        return len(self._plans)

@@ -9,6 +9,7 @@ terms to/from the plain-object model understood by every wire format.
 from __future__ import annotations
 
 from typing import Any, Dict
+from weakref import WeakKeyDictionary
 
 from repro.errors import MarshalError
 from repro.types.signature import (
@@ -63,7 +64,33 @@ def term_from_obj(obj: Any) -> TypeTerm:
     raise MarshalError(f"malformed type term object {obj!r}")
 
 
+#: Memoised plain-object forms, keyed weakly by the signature instance.
+#: Signatures are immutable after construction and every exported ref of
+#: one interface shares the same instance, so serialising the (deeply
+#: recursive) signature tree once per interface instead of once per
+#: marshalled reference is pure saving.  Entries die with the signature.
+#: Callers must treat the returned tree as read-only, which every wire
+#: format does (dumps never mutates its input).
+_SIG_OBJ_CACHE: "WeakKeyDictionary[InterfaceSignature, Dict[str, Any]]" = \
+    WeakKeyDictionary()
+
+
 def signature_to_obj(signature: InterfaceSignature) -> Dict[str, Any]:
+    try:
+        cached = _SIG_OBJ_CACHE.get(signature)
+    except TypeError:  # unhashable/exotic signature stand-in: no memo
+        cached = None
+    if cached is not None:
+        return cached
+    obj = _signature_to_obj(signature)
+    try:
+        _SIG_OBJ_CACHE[signature] = obj
+    except TypeError:
+        pass
+    return obj
+
+
+def _signature_to_obj(signature: InterfaceSignature) -> Dict[str, Any]:
     return {
         "name": signature.name,
         "kind": signature.kind,

@@ -39,6 +39,37 @@ def test_replycache_minimal_plan_clean_without_mutation():
     assert violations == []
 
 
+#: Batching variant of the same bug class, shrunk by hand from the
+#: batched sweep: the *combined* reply of a 3-member batch is lost, the
+#: client retransmits the whole batch, and without per-member reply
+#: cache dedup every member executes twice (final=6 against an
+#: exactly-once envelope of [3, 3]).  Pins that batch members keep
+#: individual invocation_id dedup rather than message-level semantics.
+BATCHING_REPLYCACHE_MINIMAL = Plan(seed=1, ops=[
+    Op("lose_reply", node="n1"),
+    Op("batch_burst", counter=0, n=3),
+], windows=[])
+
+
+def test_batching_replycache_minimal_plan_still_detected():
+    config = CheckConfig().with_batching().with_mutations("replycache")
+    result = run_plan(BATCHING_REPLYCACHE_MINIMAL, config)
+    violations = run_all(result)
+    assert {v.oracle for v in violations} == {"exactly_once"}
+    # The burst really went through the batch path and retransmitted.
+    batcher = result.end_state["perf"]["batcher"]
+    assert batcher["batches_sent"] == 1
+    assert batcher["invocations_batched"] == 3
+    assert batcher["retransmits"] == 1
+
+
+def test_batching_replycache_minimal_plan_clean_without_mutation():
+    config = CheckConfig().with_batching()
+    result = run_plan(BATCHING_REPLYCACHE_MINIMAL, config)
+    assert run_all(result) == []
+    assert result.counter_final["c0"] == 3  # dedup absorbed the retry
+
+
 # ---------------------------------------------------------------------------
 # Pinned split-brain scenario (epoch fencing)
 # ---------------------------------------------------------------------------

@@ -1,0 +1,254 @@
+"""Golden wire tests: the byte encodings are pinned, forever.
+
+Two independent guarantees live here:
+
+1. **Format stability** — the exact PACKED and TAGGED bytes of a
+   representative envelope corpus (invocations, interface signatures
+   with nested records and references, error replies, batch envelopes)
+   are pinned by digest.  Any change to these digests is a wire-format
+   break: old and new nodes could no longer interoperate, and every
+   pinned run digest in the repo would silently shift.
+
+2. **Plan-cache equivalence** — the memoised codec plans of
+   ``repro.ndr.plancache`` must produce *byte-identical* output to the
+   generic envelope walk, for both formats, cached and uncached, single
+   and batch.  The cache is a pure accelerator; the moment it drifts a
+   byte it is a federation bug, and this file is what catches it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.comp.invocation import Invocation
+from repro.comp.model import signature_of
+from repro.engine.wire_errors import encode_error
+from repro.errors import ServerBusyError, StaleReferenceError
+from repro.ndr.formats import get_format
+from repro.ndr.plancache import PlanCache, encode_batch
+from repro.ndr.sigcodec import signature_to_obj, term_to_obj
+from repro.types.terms import INT, RecordType, RefType, SeqType, STR
+from tests.conftest import Account, Counter
+
+FORMATS = ("packed", "tagged")
+
+
+def _corpus():
+    """The pinned envelope corpus; must stay deterministic forever."""
+    inv_a = {
+        "id": "if.n1-0-1-2",
+        "op": "add",
+        "args": [7, "x", 3.5, b"\x00\xffbytes", True, None],
+        "kind": "interrogation",
+        "epoch": 3,
+        "ctx": {"principal": "alice",
+                "credentials": {"role": "admin"},
+                "transaction_id": None,
+                "origin_domain": "org",
+                "via_domains": ["org"],
+                "extra": {},
+                "trace": "T1@org|S2@org"},
+        "inv_id": "cli/app#7",
+    }
+    inv_b = {
+        "id": "if.n1-0-1-2",
+        "op": "increment",
+        "args": [],
+        "kind": "interrogation",
+        "epoch": 0,
+        "ctx": {"principal": None, "credentials": {},
+                "transaction_id": None, "origin_domain": None,
+                "via_domains": [], "extra": {}},
+        "inv_id": "cli/app#8",
+    }
+    nested = RecordType({
+        "items": SeqType(RefType(signature_of(Counter))),
+        "count": INT,
+        "label": STR,
+        "matrix": SeqType(SeqType(INT)),
+    })
+    return [
+        ("single_invocation", {"capsule": "srv", "inv": inv_a}),
+        ("account_signature",
+         {"sig": signature_to_obj(signature_of(Account))}),
+        ("nested_record_with_refs", {"term": term_to_obj(nested)}),
+        ("error_reply_busy",
+         {"error": encode_error(
+             ServerBusyError("server overloaded: dispatch queue at "
+                             "bound 3, invocation shed (retryable)"),
+             None)}),
+        ("error_reply_stale",
+         {"error": encode_error(
+             StaleReferenceError("no capsule 'gone' on n2"), None)}),
+        ("batch_envelope", {"batch": [inv_a, inv_b], "capsule": "srv"}),
+        ("batch_reply",
+         {"replies": [{"term": {"name": "ok", "values": [41]}},
+                      {"error": {"code": "server_busy",
+                                 "msg": "shed"}}]}),
+    ]
+
+
+#: sha256 of every corpus entry per format.  Regenerate ONLY for a
+#: deliberate, versioned wire-format change:
+#:   PYTHONPATH=src python tests/test_ndr_golden.py
+GOLDEN = {
+    "packed": {
+        "single_invocation":
+            "43295a2a7d7bd8019d81d657810d3f36052a05520747897c5b394a2f8277d4f2",
+        "account_signature":
+            "c33e28f89ead52916a65477b582aff9bfdaf7f7080105d5300aa6cea4f548be9",
+        "nested_record_with_refs":
+            "4fcb5054f4767c74155fa66721d03ea7ce1d4e217af215dbf89232e85a539737",
+        "error_reply_busy":
+            "aa9e4b11528dd2b61eba541413d06a048b90d281c5ffe57471133b081215824b",
+        "error_reply_stale":
+            "bfbd2d76ae48bd47d6d7b597cf2f7096106a05fe15f78b4e2747bd4127fdf5c7",
+        "batch_envelope":
+            "4f614ea835e384e83815b805cddb9411b9e5707335906398271007fd76e7b625",
+        "batch_reply":
+            "ac7462a0886ed4c3718d92b3b71b842b7cf671a8b20ac8f4262b9529b2410b10",
+    },
+    "tagged": {
+        "single_invocation":
+            "8863f1ca99a20cc03b3b81fe4cf79880fe43612434a2fbdfb9429782ca34c95e",
+        "account_signature":
+            "63d93a7fb7df235d282905bc4ad519d7a206f9c16329fe85bd5c14fd77f17ce1",
+        "nested_record_with_refs":
+            "80f5249b807d3639045fb6e240c00c872c3efe5368599da050887e6c567a1443",
+        "error_reply_busy":
+            "8f47828502ca16367b3778ca2d2571f2cd63513cfec3f746ec5e2fe48d6bd87a",
+        "error_reply_stale":
+            "31431ea2bad632340ff507fe6cb02abcf10c280b749969458c60972d537b6cb8",
+        "batch_envelope":
+            "8444ab0405a91ff196e45ee6019b4f5bfd02b6eab4ffe2c446c54b7266e5108a",
+        "batch_reply":
+            "9b444c6a753f144320ac2c10e09215569f0eacb0dd3c3448c82cf6ee96bca8bb",
+    },
+}
+
+
+@pytest.mark.parametrize("fmt_name", FORMATS)
+def test_golden_bytes_are_pinned(fmt_name):
+    fmt = get_format(fmt_name)
+    for name, obj in _corpus():
+        digest = hashlib.sha256(fmt.dumps(obj)).hexdigest()
+        assert digest == GOLDEN[fmt_name][name], (
+            f"{fmt_name}:{name} wire bytes changed — this is a "
+            f"wire-format break, not a test failure to appease")
+
+
+@pytest.mark.parametrize("fmt_name", FORMATS)
+def test_corpus_round_trips(fmt_name):
+    fmt = get_format(fmt_name)
+    for name, obj in _corpus():
+        assert fmt.loads(fmt.dumps(obj)) == obj, name
+
+
+# ---------------------------------------------------------------------------
+# Plan-cache equivalence: cached encoding == the generic walk, always
+# ---------------------------------------------------------------------------
+
+_MEMBER_CASES = [
+    # (args, ctx, inv_id, epoch, kind)
+    ([], {"principal": None, "credentials": {}, "transaction_id": None,
+          "origin_domain": None, "via_domains": [], "extra": {}},
+     "cli/app#1", 0, "interrogation"),
+    ([5, "k", [1, [2, 3]], {"nested": {"deep": b"\x01"}}],
+     {"principal": "bob", "credentials": {"cap": "rw"},
+      "transaction_id": "tx-9", "origin_domain": "org",
+      "via_domains": ["org", "edge"], "extra": {"hop": 2},
+      "trace": "T4@org|S9@org"},
+     "cli/app#2", 7, "interrogation"),
+    ([True, None, 2.25], {"principal": None, "credentials": {},
+                          "transaction_id": None, "origin_domain": None,
+                          "via_domains": [], "extra": {}},
+     None, 2, "announcement"),
+]
+
+
+def _manual_envelope(args, ctx, inv_id, epoch, kind):
+    inv = {"id": "if.x-1", "op": "mixed_op", "args": args,
+           "kind": kind, "epoch": epoch, "ctx": ctx}
+    if inv_id is not None:
+        inv["inv_id"] = inv_id
+    return {"capsule": "srv", "inv": inv}
+
+
+@pytest.mark.parametrize("fmt_name", FORMATS)
+def test_plan_single_encoding_matches_generic_walk(fmt_name):
+    fmt = get_format(fmt_name)
+    cache = PlanCache()
+    for args, ctx, inv_id, epoch, kind in _MEMBER_CASES:
+        plan = cache.plan_for(fmt, "srv", "if.x-1", "mixed_op", kind,
+                              epoch, inv_id is not None)
+        member = plan.encode_member(args, ctx, inv_id)
+        expected = fmt.dumps(_manual_envelope(args, ctx, inv_id,
+                                              epoch, kind))
+        assert plan.encode_single(member) == expected
+    # Second pass hits the cache and must still splice identically.
+    for args, ctx, inv_id, epoch, kind in _MEMBER_CASES:
+        plan = cache.plan_for(fmt, "srv", "if.x-1", "mixed_op", kind,
+                              epoch, inv_id is not None)
+        member = plan.encode_member(args, ctx, inv_id)
+        assert plan.encode_single(member) == fmt.dumps(
+            _manual_envelope(args, ctx, inv_id, epoch, kind))
+    assert cache.hits == len(_MEMBER_CASES)
+
+
+@pytest.mark.parametrize("fmt_name", FORMATS)
+def test_plan_batch_encoding_matches_generic_walk(fmt_name):
+    fmt = get_format(fmt_name)
+    cache = PlanCache()
+    members, objs = [], []
+    for args, ctx, inv_id, epoch, kind in _MEMBER_CASES:
+        plan = cache.plan_for(fmt, "srv", "if.x-1", "mixed_op", kind,
+                              epoch, inv_id is not None)
+        members.append(plan.encode_member(args, ctx, inv_id))
+        objs.append(_manual_envelope(args, ctx, inv_id,
+                                     epoch, kind)["inv"])
+    expected = fmt.dumps({"batch": objs, "capsule": "srv"})
+    assert encode_batch(fmt, "srv", members) == expected
+    assert encode_batch(fmt, "srv", []) == fmt.dumps(
+        {"batch": [], "capsule": "srv"})
+
+
+def test_transport_encoding_identical_with_cache_on_and_off(
+        single_domain):
+    """The live transport produces the same bytes either way — codec
+    plan caching can be toggled per channel with zero wire impact."""
+    world, domain, servers, clients = single_domain
+    ref = servers.export(Counter(), interface_id="golden.c")
+    proxy = world.binder_for(clients).bind(ref)
+    transport = proxy._channel.transport
+    path = ref.primary_path()
+    invocation = Invocation(interface_id=ref.interface_id,
+                            operation="add", args=(5,),
+                            epoch=ref.epoch,
+                            invocation_id="golden-inv-1")
+    cached = transport._encode(invocation, path)
+    transport.plan_cache.enabled = False
+    try:
+        generic = transport._encode(invocation, path)
+    finally:
+        transport.plan_cache.enabled = True
+    assert cached == generic
+    rehit = transport._encode(invocation, path)
+    assert rehit == generic
+    assert transport.plan_cache.hits >= 1
+
+
+def test_signature_objects_are_memoised():
+    signature = signature_of(Account)
+    assert signature_to_obj(signature) is signature_to_obj(signature)
+
+
+if __name__ == "__main__":  # digest regeneration helper
+    for fmt_name in FORMATS:
+        fmt = get_format(fmt_name)
+        print(f'    "{fmt_name}": {{')
+        for name, obj in _corpus():
+            digest = hashlib.sha256(fmt.dumps(obj)).hexdigest()
+            print(f'        "{name}":\n            "{digest}",')
+        print("    },")
