@@ -41,6 +41,13 @@ def _parse(argv: Optional[List[str]]) -> argparse.Namespace:
                              "(repro.heal) during every plan; the "
                              "self_heal oracle then requires groups to "
                              "regain full replication factor")
+    parser.add_argument("--partitions", action="store_true",
+                        help="widen chaos with symmetric and asymmetric "
+                             "network partition windows and record "
+                             "per-member commit ledgers; the "
+                             "split_brain oracle then checks no write "
+                             "ever commits without quorum and no two "
+                             "members diverge at a sequence number")
     parser.add_argument("--batching", action="store_true",
                         help="drive part of the workload through the "
                              "high-throughput layer (repro.perf): "
@@ -66,12 +73,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = config.with_supervisor()
     if args.batching:
         config = config.with_batching()
+    if args.partitions:
+        config = config.with_partitions()
 
     print(f"repro.check: {args.seeds} seeds from {args.base_seed}, "
           f"{config.ops} ops/plan, mutations="
           f"{list(config.mutations) or 'none'}, "
           f"supervisor={'on' if config.supervisor else 'off'}, "
-          f"batching={'on' if config.batching else 'off'}")
+          f"batching={'on' if config.batching else 'off'}, "
+          f"partitions={'on' if config.partitions else 'off'}")
 
     started = time.monotonic()
     per_oracle = {name: 0 for name in ORACLES}

@@ -31,6 +31,7 @@ from repro.comp.interface import InterfaceState
 from repro.comp.invocation import QoS
 from repro.comp.outcomes import Signal
 from repro.errors import OdpError
+from repro.groups.member import GroupMemberLayer
 from repro.net.fault import FaultSchedule
 from repro.resilience.dedup import ReplyCache
 from repro.runtime import World
@@ -43,6 +44,7 @@ from repro.tx.versions import VersionStore
 MUTATIONS: Dict[str, Tuple[type, str]] = {
     "replycache": (ReplyCache, "mutate_skip_lookup"),
     "txversions": (VersionStore, "mutate_skip_restore"),
+    "quorumbarrier": (GroupMemberLayer, "mutate_skip_quorum_barrier"),
 }
 
 _DOMAIN = "check"
@@ -80,9 +82,17 @@ class CheckConfig:
     #: BatchClient, and every server nucleus gets a token-bucket
     #: admission controller sized so bursts occasionally queue and shed.
     batching: bool = False
+    #: Widen chaos generation with symmetric and asymmetric partition
+    #: windows and record each member's commit ledger for the
+    #: ``split_brain`` oracle.  Gated (not default) so pinned plans and
+    #: digests in the regression corpus stay byte-identical.
+    partitions: bool = False
 
     def with_batching(self) -> "CheckConfig":
         return replace(self, batching=True)
+
+    def with_partitions(self) -> "CheckConfig":
+        return replace(self, partitions=True)
 
     def with_mutations(self, *names: str) -> "CheckConfig":
         for name in names:
@@ -561,7 +571,7 @@ class _Run:
         for member in self.group.view.members:
             _, interface = plumbing[("check.kv", member.index)]
             implementation = interface.implementation
-            member_states.append({
+            state = {
                 "index": member.index,
                 "node": member.node,
                 "alive": member.alive,
@@ -569,7 +579,14 @@ class _Run:
                 "applied_seq": member.applied_seq,
                 "data": (dict(sorted(implementation.data.items()))
                          if implementation is not None else None),
-            })
+            }
+            if self.config.partitions:
+                # The per-member commit ledger feeds the split_brain
+                # oracle.  Only recorded in partitions mode so default
+                # end states (and digests) are untouched.
+                state["commits"] = [list(entry)
+                                    for entry in member.layer.commit_log]
+            member_states.append(state)
 
         relocation_probes: List[Dict[str, Any]] = []
         relocator = self.domain.relocator
@@ -608,6 +625,9 @@ class _Run:
         }
         if self.supervisor is not None:
             end_state["heal"] = self.supervisor.report()
+        if self.config.partitions:
+            end_state["partitions"] = dict(
+                self.domain.groups.partition_stats())
         if self.batcher is not None:
             end_state["perf"] = {
                 "batcher": self.batcher.stats(),

@@ -251,11 +251,59 @@ def self_heal(result) -> List[Violation]:
     return violations
 
 
+def split_brain(result) -> List[Violation]:
+    """No write commits without quorum; no two members diverge at a seq.
+
+    Judged against the per-member commit ledgers recorded in partitions
+    mode.  Each ledger entry is ``(seq, view, acks, digest)`` — ``acks``
+    is the coordinator's own count (``None`` on relay-appliers, which
+    only learn the write, not the tally).  Two clauses:
+
+    * *Unsafe commit*: a coordinator retained a ledger entry whose ack
+      count is below the configured reply quorum.  The quorum barrier
+      rolls such writes back, so any surviving entry means a minority
+      side committed alone — the split-brain write the barrier exists
+      to prevent.
+    * *Divergence*: two members hold a committed entry at the same
+      sequence number with different write digests.  Since sequence
+      numbers are burned (never reused) and the ledger survives state
+      transfer only on the member that applied the write, this is two
+      sides of a partition each deciding the same slot differently.
+    """
+    ledgers = [(m["index"], m.get("commits"))
+               for m in result.member_states]
+    if all(commits is None for _, commits in ledgers):
+        return []  # default mode: no ledgers recorded, nothing to judge
+    quorum = result.config.reply_quorum
+    violations = []
+    by_seq: Dict[int, List] = {}
+    for index, commits in ledgers:
+        for entry in commits or []:
+            seq, view, acks, digest = entry
+            if acks is not None and acks < quorum:
+                violations.append(Violation(
+                    "split_brain",
+                    f"member {index} committed seq {seq} (view {view}) "
+                    f"with only {acks} ack(s), quorum is {quorum}"))
+            by_seq.setdefault(seq, []).append((index, view, digest))
+    for seq in sorted(by_seq):
+        digests = {digest for _, _, digest in by_seq[seq]}
+        if len(digests) > 1:
+            detail = ", ".join(
+                f"member {index} (view {view}): {digest!r}"
+                for index, view, digest in by_seq[seq])
+            violations.append(Violation(
+                "split_brain",
+                f"divergent commits at seq {seq}: {detail}"))
+    return violations
+
+
 #: The oracle catalogue, in reporting order.
 ORACLES: Dict[str, Callable] = {
     "exactly_once": exactly_once,
     "tx_atomicity": tx_atomicity,
     "group_consistency": group_consistency,
+    "split_brain": split_brain,
     "relocation": relocation,
     "gc_safety": gc_safety,
     "clock_monotonic": clock_monotonic,

@@ -16,7 +16,14 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.net.fault import CrashWindow, CutWindow, FlakyWindow, GrayWindow
+from repro.net.fault import (
+    AsymPartitionWindow,
+    CrashWindow,
+    CutWindow,
+    FlakyWindow,
+    GrayWindow,
+    PartitionWindow,
+)
 from repro.sim.rand import DeterministicRandom
 
 #: Fixed explorer topology: three server nodes plus one client node.
@@ -187,9 +194,37 @@ def _generate_op(rng: DeterministicRandom, config, index: int) -> Op:
     raise AssertionError(kind)
 
 
-def _generate_window(rng: DeterministicRandom, horizon_ms: float):
+def _generate_window(rng: DeterministicRandom, horizon_ms: float,
+                     partitions: bool = False):
     start = round(rng.uniform(0.0, horizon_ms * 0.7), 3)
-    kind = rng.randint(0, 3)
+    # The partition kinds are gated behind the mode flag rather than
+    # added to the default roll: window generation is a pure function
+    # of (seed, config), and widening the default range would reshuffle
+    # every pinned plan and digest in the regression corpus.
+    kind = rng.randint(0, 5 if partitions else 3)
+    if kind == 4:
+        # Symmetric split: one server (sometimes with the client node)
+        # against the rest of the fleet.
+        duration = round(rng.uniform(horizon_ms * 0.05,
+                                     horizon_ms * 0.25), 3)
+        isolated = rng.choice(SERVER_NODES)
+        side_a = [isolated]
+        if rng.chance(0.5):
+            side_a.append(CLIENT_NODE)
+        side_b = [n for n in SERVER_NODES + (CLIENT_NODE,)
+                  if n not in side_a]
+        return PartitionWindow((tuple(sorted(side_a)),
+                                tuple(sorted(side_b))),
+                               start, start + duration)
+    if kind == 5:
+        # One-way reachability loss: a server whose egress to the other
+        # servers is blocked while their replies still reach it.
+        duration = round(rng.uniform(horizon_ms * 0.05,
+                                     horizon_ms * 0.25), 3)
+        source = rng.choice(SERVER_NODES)
+        rest = tuple(n for n in SERVER_NODES if n != source)
+        return AsymPartitionWindow((source,), rest, start,
+                                   start + duration)
     if kind == 0:
         duration = round(rng.uniform(horizon_ms * 0.05,
                                      horizon_ms * 0.30), 3)
@@ -225,7 +260,8 @@ def generate_plan(seed: int, config) -> Plan:
            for index in range(config.ops)]
 
     horizon = config.ops * config.op_budget_ms
-    windows = [_generate_window(chaos_rng, horizon)
+    partitions = getattr(config, "partitions", False)
+    windows = [_generate_window(chaos_rng, horizon, partitions)
                for _ in range(chaos_rng.randint(0, config.max_windows))]
     windows.sort(key=lambda w: (w.start_ms, type(w).__name__))
     return Plan(seed, ops, windows)

@@ -148,7 +148,17 @@ class GroupError(OdpError):
 
 
 class NoQuorumError(GroupError):
-    """Not enough live members to satisfy the group policy."""
+    """Not enough live members acknowledged a quorum write.
+
+    The sequencer rolls its staged apply back before raising, so the
+    write left no trace and the error is *retryable*: the client may
+    resubmit once the partition heals or a new view forms, without
+    risking a duplicate.  Crucially this is not evidence any member
+    died — only that too few were reachable — so clients must not
+    treat it as a failover trigger.
+    """
+
+    retryable = True
 
 
 class MembershipError(GroupError):

@@ -20,6 +20,7 @@ from repro.errors import (
     GroupUnavailableError,
     MembershipError,
     NodeUnreachableError,
+    NoQuorumError,
 )
 from repro.groups.member import ROLE_KEY, VIEW_KEY
 
@@ -39,6 +40,7 @@ class GroupInvokeLayer(ClientLayer):
         self.invocations = 0
         self.failovers = 0
         self.fenced_retries = 0
+        self.quorum_retries = 0
         self.read_spread_reads = 0
 
     def request(self, invocation: Invocation, next_layer) -> Termination:
@@ -52,6 +54,7 @@ class GroupInvokeLayer(ClientLayer):
             return self._read_anywhere(group, invocation)
 
         attempts = self.max_view_changes + 1
+        no_quorum = None
         for _ in range(attempts):
             sequencer = group.view.sequencer
             if sequencer is None:
@@ -71,9 +74,19 @@ class GroupInvokeLayer(ClientLayer):
                 # The member outlives our view knowledge, not the other
                 # way round: refresh and retry without suspecting it.
                 self.fenced_retries += 1
+            except NoQuorumError as error:
+                # The write rolled back: quorum loss says *other*
+                # members were unreachable, not that the sequencer
+                # failed — retry under the (possibly new) view without
+                # suspecting anyone, so a partition cannot start a
+                # failover storm from the client side.
+                self.quorum_retries += 1
+                no_quorum = error
             except (NodeUnreachableError, MembershipError):
                 self.failovers += 1
                 self.registry.suspect(self.group_id, sequencer)
+        if no_quorum is not None:
+            raise no_quorum
         raise GroupError(
             f"group {self.group_id}: no usable sequencer after "
             f"{attempts} view changes")

@@ -2,18 +2,29 @@
 
 Attached to every replica's server stack.  When this member is the
 sequencer, a client invocation is assigned the next sequence number,
-applied locally, then relayed — in order, synchronously — to the other
-live members.  When the invocation arrives as a relay, the layer checks
-the gap discipline (a missed sequence number means this member fell out of
-sync and must leave the view for a state transfer) and applies it.
+*staged* locally (a before-image is taken first), relayed — in order,
+synchronously — to the other live members, and only **committed** once
+``reply_quorum`` members acknowledged it.  A write that falls short of
+quorum is rolled back everywhere it landed and surfaces as a retryable
+:class:`NoQuorumError`: a minority-side sequencer can never make a
+write durable, which is what keeps a healed partition free of split
+brain.  When the invocation arrives as a relay, the layer checks the
+chain discipline (the relay names the sequence number the sequencer
+committed *previously*; a mismatch means this member fell out of sync
+and must leave the view for a state transfer) and applies it.
+
+Every member also keeps an append-only **commit ledger** of the writes
+it holds.  The ledger deliberately survives state transfer: it is the
+evidence the ``split_brain`` check oracle audits, so a repaired member
+cannot launder a dirty (under-quorum) commit by being resynced.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.comp.invocation import Invocation
-from repro.comp.outcomes import Termination
+from repro.comp.outcomes import OK, Termination
 from repro.engine.layers import ServerLayer
 from repro.engine.remote import invoke_at
 from repro.errors import (
@@ -22,17 +33,28 @@ from repro.errors import (
     MembershipError,
     NoQuorumError,
 )
+from repro.tx.versions import restore_snapshot, take_snapshot
 
 #: context.extra keys used by the group protocol.
 ROLE_KEY = "grole"
 SEQ_KEY = "gseq"
 VIEW_KEY = "gview"
+#: The sequence number the sequencer had committed before this relay —
+#: the chain discipline replicas verify instead of assuming seqs are
+#: gap-free (aborted quorum writes *burn* their sequence numbers).
+PREV_KEY = "gprev"
 
 
 class GroupMemberLayer(ServerLayer):
-    """Per-replica total-order enforcement and relay."""
+    """Per-replica total-order enforcement, quorum commit and relay."""
 
     name = "group-member"
+
+    #: TEST-ONLY mutation hook for ``repro.check``: when flipped on the
+    #: class, the sequencer reverts to the pre-fix dirty-write protocol
+    #: — apply first, count acks after, never roll back — which must
+    #: trip exactly the ``split_brain`` oracle.
+    mutate_skip_quorum_barrier = False
 
     def __init__(self, registry, group_id: str, member_index: int,
                  capsule) -> None:
@@ -44,6 +66,18 @@ class GroupMemberLayer(ServerLayer):
         self.applied_ops = 0
         self.relayed_ops = 0
         self.out_of_sync = False
+        #: Append-only commit ledger: (seq, view, acks, write) tuples.
+        #: ``acks`` is the quorum certificate size on the member that
+        #: coordinated the write and None on members that merely
+        #: applied a relay.  Deliberately *not* copied by state
+        #: transfer — see the module docstring.
+        self.commit_log: List[Tuple] = []
+        #: The one write staged but not yet committed on this member:
+        #: (seq, prior applied_seq, before-image snapshot).
+        self._staged: Optional[Tuple] = None
+        self.quorum_failures = 0
+        self.rolled_back_writes = 0
+        self.fenced_rejections = 0
 
     # -- helpers --------------------------------------------------------------
 
@@ -77,11 +111,13 @@ class GroupMemberLayer(ServerLayer):
         group = self.group
         me = self._me()
         if me is not None and not me.alive:
+            self.fenced_rejections += 1
             raise EpochFencedError(
                 f"member {self.member_index} of {self.group_id} is "
                 f"fenced: voted out of view {group.view.number}")
         claimed = invocation.context.extra.get(VIEW_KEY)
         if claimed is not None and int(claimed) != group.view.number:
+            self.fenced_rejections += 1
             raise EpochFencedError(
                 f"member {self.member_index} of {self.group_id}: "
                 f"invocation claims view {claimed}, current view is "
@@ -96,24 +132,68 @@ class GroupMemberLayer(ServerLayer):
                 f"sync and awaiting state transfer")
         role = invocation.context.extra.get(ROLE_KEY)
         if role == "apply":
-            return self._apply_relay(invocation, next_layer)
+            return self._apply_relay(invocation, interface, next_layer)
+        if role == "rollback":
+            return self._apply_rollback(invocation, interface)
         if role == "read":
             self.applied_ops += 1
             return next_layer(invocation)
         return self._coordinate(invocation, interface, next_layer)
 
-    def _apply_relay(self, invocation: Invocation,
+    @staticmethod
+    def _write_digest(invocation: Invocation) -> str:
+        return f"{invocation.operation}:{invocation.args!r}"
+
+    def _apply_relay(self, invocation: Invocation, interface,
                      next_layer) -> Termination:
-        seq = int(invocation.context.extra.get(SEQ_KEY, 0))
-        if seq != self.applied_seq + 1:
+        extra = invocation.context.extra
+        seq = int(extra.get(SEQ_KEY, 0))
+        prev = int(extra.get(PREV_KEY, seq - 1))
+        if self.applied_seq != prev:
             self.out_of_sync = True
             raise MembershipError(
-                f"member {self.member_index} expected seq "
-                f"{self.applied_seq + 1}, got {seq}: out of sync")
+                f"member {self.member_index} applied up to seq "
+                f"{self.applied_seq} but the sequencer chained from "
+                f"{prev}: out of sync")
+        implementation = interface.implementation
+        if implementation is not None:
+            self._staged = (seq, self.applied_seq,
+                            take_snapshot(implementation))
         termination = next_layer(invocation)
+        view = int(extra.get(VIEW_KEY, self.group.view.number))
+        self.commit_log.append(
+            (seq, view, None, self._write_digest(invocation)))
         self.applied_seq = seq
         self.applied_ops += 1
         return termination
+
+    def _apply_rollback(self, invocation: Invocation,
+                        interface) -> Termination:
+        """Undo a staged relay the sequencer failed to certify.
+
+        Deliberately does *not* call the next layer: there is no
+        operation to execute, only a before-image to restore.
+        """
+        seq = int(invocation.context.extra.get(SEQ_KEY, 0))
+        staged = self._staged
+        if staged is None or staged[0] != seq or self.applied_seq != seq:
+            # This member holds a write it cannot take back; it must
+            # leave the view and resync rather than diverge silently.
+            self.out_of_sync = True
+            raise MembershipError(
+                f"member {self.member_index} cannot roll back seq "
+                f"{seq} (staged={staged!r}, applied={self.applied_seq})")
+        _, prev, snapshot = staged
+        implementation = interface.implementation
+        if implementation is not None and snapshot is not None:
+            restore_snapshot(implementation, snapshot)
+        if self.commit_log and self.commit_log[-1][0] == seq:
+            self.commit_log.pop()
+        self.applied_seq = prev
+        self.applied_ops -= 1
+        self.rolled_back_writes += 1
+        self._staged = None
+        return Termination(OK)
 
     def _coordinate(self, invocation: Invocation, interface,
                     next_layer) -> Termination:
@@ -132,31 +212,101 @@ class GroupMemberLayer(ServerLayer):
             self.applied_ops += 1
             return next_layer(invocation)
 
+        # Stage: burn the sequence number (aborts never reuse it), take
+        # a before-image, then apply locally.  The write is not
+        # *committed* until reply_quorum members hold it.
         seq = group.next_seq()
+        prev = self.applied_seq
+        implementation = interface.implementation
+        snapshot = None
+        if not self.mutate_skip_quorum_barrier and \
+                implementation is not None:
+            snapshot = take_snapshot(implementation)
         termination = next_layer(invocation)
         self.applied_seq = seq
         self.applied_ops += 1
 
         acks = 1  # the sequencer itself
+        acked = []
+        # (member, corroborated): a MembershipError is the member's own
+        # testimony that it diverged — positive evidence the panel must
+        # not veto — while a CommunicationError is an ambiguous liveness
+        # guess (could be a partition) the supervisor's vantage panel
+        # may overrule.  The grade only matters on the no-quorum path:
+        # once the write commits, every non-acking member verifiably
+        # misses committed state and is escalated below.
         suspects = []
         for member in group.view.live_members():
             if member.index == self.member_index:
                 continue
             try:
-                self._relay(invocation, member, seq)
+                self._relay(invocation, member, seq, prev)
                 acks += 1
-            except (CommunicationError, MembershipError):
-                suspects.append(member)
-        for member in suspects:
-            self.registry.suspect(self.group_id, member)
-        if acks < group.spec.reply_quorum:
+                acked.append(member)
+            except MembershipError:
+                suspects.append((member, True))
+            except CommunicationError:
+                suspects.append((member, False))
+
+        quorum = group.spec.reply_quorum
+        if acks < quorum and not self.mutate_skip_quorum_barrier:
+            # Quorum barrier: undo the write everywhere it landed
+            # *before* reporting suspects — a reconciliation triggered
+            # by the suspicion must never spread uncommitted state.
+            self.quorum_failures += 1
+            self._rollback(invocation, seq, prev, snapshot,
+                           implementation, acked, suspects)
+            for member, corroborated in suspects:
+                self.registry.suspect(self.group_id, member,
+                                      corroborated=corroborated)
             raise NoQuorumError(
-                f"{self.group_id}: only {acks} of "
-                f"{group.spec.reply_quorum} required replicas acknowledged")
+                f"{self.group_id}: only {acks} of {quorum} required "
+                f"replicas acknowledged; write seq {seq} rolled back")
+        self.commit_log.append(
+            (seq, group.view.number, acks, self._write_digest(invocation)))
+        for member, _ in suspects:
+            # The write committed without this member's ack: whatever
+            # the failure was, the member verifiably misses committed
+            # state now, and leaving it in the view would be silent
+            # staleness — always corroborated, never vetoable.  (Only
+            # the rollback path above reports liveness *guesses*: an
+            # aborted write leaves nothing behind to miss.)
+            self.registry.suspect(self.group_id, member,
+                                  corroborated=True)
+        if acks < quorum:
+            # Mutation path (pre-fix protocol): the dirty local apply
+            # and its under-quorum ledger entry are left in place.
+            raise NoQuorumError(
+                f"{self.group_id}: only {acks} of {quorum} required "
+                f"replicas acknowledged")
         self.relayed_ops += 1
         return termination
 
-    def _relay(self, invocation: Invocation, member, seq: int) -> None:
+    def _rollback(self, invocation: Invocation, seq: int, prev: int,
+                  snapshot, implementation, acked, suspects) -> None:
+        """Restore the before-image here and on every acked member.
+
+        A member that cannot be rolled back (unreachable again, or its
+        stage no longer matches) is added to *suspects* as corroborated:
+        it verifiably holds a write the group aborted, and leaving it in
+        the view would be silent divergence — this is not a liveness
+        guess the supervisor's panel may veto.
+        """
+        if implementation is not None and snapshot is not None:
+            restore_snapshot(implementation, snapshot)
+        self.applied_seq = prev
+        self.applied_ops -= 1
+        self.rolled_back_writes += 1
+        for member in acked:
+            try:
+                self._relay(invocation, member, seq, prev,
+                            role="rollback")
+            except (CommunicationError, MembershipError,
+                    EpochFencedError):
+                suspects.append((member, True))
+
+    def _relay(self, invocation: Invocation, member, seq: int,
+               prev: int, role: str = "apply") -> None:
         relay = Invocation(
             interface_id=member.interface_id,
             operation=invocation.operation,
@@ -166,8 +316,9 @@ class GroupMemberLayer(ServerLayer):
             context=invocation.context.copy(),
             epoch=0,
         )
-        relay.context.extra[ROLE_KEY] = "apply"
+        relay.context.extra[ROLE_KEY] = role
         relay.context.extra[SEQ_KEY] = seq
+        relay.context.extra[PREV_KEY] = prev
         relay.context.extra[VIEW_KEY] = self.group.view.number
         invoke_at(self.capsule.nucleus, self.capsule, member.node,
                   member.capsule_name, member.interface_id, relay)

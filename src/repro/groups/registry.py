@@ -44,6 +44,11 @@ class GroupRegistry:
         self._plumbing: Dict[Tuple[str, int], Tuple] = {}
         self._member_counter: Dict[str, int] = {}
         self.suspicions = 0
+        #: Suspicions vetoed by the supervisor's vantage panel: the
+        #: accuser could not see the member but a quorum of observer
+        #: vantage points still can (i.e. the accuser is partitioned,
+        #: not the accused dead).
+        self.suspicions_refused = 0
         self.heartbeat_event = None
         self._heartbeat_supervisor = None
 
@@ -132,12 +137,36 @@ class GroupRegistry:
     def _charge(self, contacts: int) -> None:
         self.domain.scheduler.clock.advance(CONTROL_COST_MS * contacts)
 
-    def suspect(self, group_id: str, member: Member) -> None:
-        """A member was observed failing: run a view change without it."""
+    def _panel_vetoes(self, member: Member) -> bool:
+        """Ask the domain supervisor's vantage panel to second-guess.
+
+        An uncorroborated suspicion (a sequencer whose relay timed out,
+        a client whose request failed over) is refused when a running
+        supervisor's quorum of observer vantage points can still hear
+        the member's node: the likely story is that the *accuser* is on
+        the wrong side of a partition.  Without a supervisor the old
+        first-report-wins semantics are preserved exactly.
+        """
+        supervisor = getattr(self.domain, "_supervisor", None)
+        if supervisor is None or not supervisor.running:
+            return False
+        return supervisor.vetoes_suspicion(member.node)
+
+    def suspect(self, group_id: str, member: Member,
+                corroborated: bool = False) -> None:
+        """A member was observed failing: run a view change without it.
+
+        *corroborated* marks suspicions already backed by a quorum of
+        observer vantage points (the supervisor's own); everything else
+        is subject to the vantage-panel veto.
+        """
         group = self.group(group_id)
         target = next((m for m in group.view.members
                        if m.index == member.index and m.alive), None)
         if target is None:
+            return
+        if not corroborated and self._panel_vetoes(target):
+            self.suspicions_refused += 1
             return
         self.suspicions += 1
         target.alive = False
@@ -248,7 +277,7 @@ class GroupRegistry:
         from repro.heal.supervisor import Supervisor
         self._heartbeat_supervisor = Supervisor(
             self.domain, interval_ms=interval_ms, repair=False,
-            recover_singletons=False, watch_nodes=False)
+            recover_singletons=False, watch_nodes=False, vantage=1)
         self._heartbeat_supervisor.start()
         self.heartbeat_event = self._heartbeat_supervisor.poll_event
 
@@ -257,3 +286,20 @@ class GroupRegistry:
             self._heartbeat_supervisor.stop()
             self._heartbeat_supervisor = None
         self.heartbeat_event = None
+
+    # -- reporting ----------------------------------------------------------------
+
+    def partition_stats(self) -> Dict[str, int]:
+        """Aggregate partition-tolerance counters across all members."""
+        stats = {"quorum_failures": 0, "rolled_back_writes": 0,
+                 "fenced_rejections": 0,
+                 "suspicions_refused": self.suspicions_refused}
+        for group in self._groups.values():
+            for member in group.view.members:
+                layer = member.layer
+                if layer is None:
+                    continue
+                stats["quorum_failures"] += layer.quorum_failures
+                stats["rolled_back_writes"] += layer.rolled_back_writes
+                stats["fenced_rejections"] += layer.fenced_rejections
+        return stats

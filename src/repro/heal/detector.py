@@ -32,11 +32,16 @@ EndpointKey = Tuple[str, str]  # (node, capsule)
 class _Arrivals:
     """Heartbeat history for one monitored endpoint."""
 
-    __slots__ = ("last_arrival", "intervals", "state", "arrivals")
+    __slots__ = ("last_arrival", "last_heard", "intervals", "state",
+                 "arrivals")
 
     def __init__(self, now: float, prime_interval: float,
                  window: int) -> None:
         self.last_arrival = now
+        #: Time of the last *real* arrival — unlike ``last_arrival``
+        #: this is never re-primed by :meth:`PhiAccrualDetector.reset`,
+        #: so it is positive evidence, not benefit of the doubt.
+        self.last_heard = float("-inf")
         # Prime the window with the configured period so phi is
         # meaningful before the first real arrival.
         self.intervals: deque = deque([prime_interval, prime_interval],
@@ -101,8 +106,15 @@ class PhiAccrualDetector:
         if record is None:
             return  # unsolicited heartbeat: not monitored
         now = self.clock.now
-        record.intervals.append(now - record.last_arrival)
+        # Bound the recorded sample: the silence of an outage that ends
+        # in a recovery (a healed partition, a restarted node) is not
+        # natural arrival variance.  Folding it into the window would
+        # inflate the fitted stddev and blunt detection of the *next*
+        # failure for a whole window's worth of beats.
+        record.intervals.append(min(now - record.last_arrival,
+                                    4.0 * self.expected_interval_ms))
         record.last_arrival = now
+        record.last_heard = now
         record.arrivals += 1
         self.heartbeats_observed += 1
         if record.state == "suspect":
@@ -163,6 +175,19 @@ class PhiAccrualDetector:
         if not keys:
             return True
         return any(self._tracked[k].state == "alive" for k in keys)
+
+    def node_heard(self, node: str, within_ms: float) -> bool:
+        """Positive evidence: a real heartbeat from *node* arrived in
+        the last *within_ms*.  Resets and priming do not count, which
+        is what lets a vantage point distinguish "this node is beating
+        at *me*" (partition) from "this node beats at nobody" (crash).
+        """
+        now = self.clock.now
+        for key, record in self._tracked.items():
+            if key[0] == node and record.arrivals > 0 and \
+                    now - record.last_heard <= within_ms:
+                return True
+        return False
 
     def suspected_nodes(self) -> List[str]:
         """Nodes whose every monitored endpoint is currently suspect."""

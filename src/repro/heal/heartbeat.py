@@ -18,19 +18,23 @@ distinguishing "everyone died" from "I went deaf".
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 class HeartbeatMonitor:
     """Emits and collects heartbeats for one domain's supervisor."""
 
     def __init__(self, domain, detector,
-                 interval_ms: float = 50.0) -> None:
+                 interval_ms: float = 50.0,
+                 home: Optional[str] = None) -> None:
         if interval_ms <= 0:
             raise ValueError("heartbeat interval must be positive")
         self.domain = domain
         self.detector = detector
         self.interval_ms = interval_ms
+        #: Preferred initial observer node (vantage placement); falls
+        #: back to the first address in sort order when absent.
+        self.home = home
         #: Message kind, minted per world so concurrent monitors (and
         #: identically-seeded runs) stay deterministic and disjoint.
         self.kind = domain.mint("hb")
@@ -51,7 +55,10 @@ class HeartbeatMonitor:
             raise RuntimeError(
                 f"domain {self.domain.name} has no nodes to observe from")
         self.running = True
-        self.observer = addresses[0]
+        if self.home is not None and self.home in addresses:
+            self.observer = self.home
+        else:
+            self.observer = addresses[0]
         for address in addresses:
             self._register(address)
 

@@ -52,9 +52,11 @@ class Supervisor:
                  threshold: float = 8.0, window: int = 64,
                  poll_interval_ms: Optional[float] = None,
                  repair: bool = True, recover_singletons: bool = True,
-                 watch_nodes: bool = True) -> None:
+                 watch_nodes: bool = True, vantage: int = 3) -> None:
         self.domain = domain
         self.interval_ms = interval_ms
+        self.threshold = threshold
+        self.window = window
         self.poll_interval_ms = (poll_interval_ms
                                  if poll_interval_ms is not None
                                  else interval_ms)
@@ -64,21 +66,36 @@ class Supervisor:
         self.repair = repair
         self.recover_singletons = recover_singletons
         self.watch_nodes = watch_nodes
+        #: Number of observer vantage points (clamped to the node count
+        #: at start).  A member is declared dead only when a majority
+        #: of the *credible* (non-blind) vantages agree — one observer
+        #: losing sight of a node is indistinguishable from the
+        #: observer sitting on the wrong side of a partition.
+        self.vantage = max(1, vantage)
         self.detector = PhiAccrualDetector(
             domain.scheduler.clock, expected_interval_ms=interval_ms,
             threshold=threshold, window=window)
         self.monitor = HeartbeatMonitor(domain, self.detector,
                                         interval_ms=interval_ms)
         self.detector.on_transition(self._on_transition)
+        #: (monitor, detector) pairs; index 0 is the primary above.
+        self._vantages: List = [(self.monitor, self.detector)]
         self.poll_event = None
         self.running = False
         self._health: Dict[str, _GroupHealth] = {}
+        #: (group_id, member_index) -> (down_since, diagnosis) recorded
+        #: at suspicion time, consumed at revival for merge-on-heal
+        #: accounting.
+        self._down_records: Dict = {}
         # Repair/availability counters (all virtual-time).
         self.suspicions_raised = 0
         self.revivals = 0
         self.replacements = 0
         self.singleton_recoveries = 0
         self.repair_failures = 0
+        self.minority_holds = 0
+        self.partition_merges = 0
+        self.reconciliation_mttr_ms: List[float] = []
         self.mttr_samples: List[float] = []
         self.degraded_ms = 0.0
         self.unavailable_ms = 0.0
@@ -89,12 +106,28 @@ class Supervisor:
         if self.running:
             return
         self.running = True
-        self.monitor.start()
+        addresses = sorted(self.domain.nuclei)
+        # Build the vantage panel: distinct observer homes in address
+        # order.  The primary keeps today's placement (first address);
+        # extras get their own detector so their verdicts stay
+        # independent observations, not shared state.
+        self.monitor.home = addresses[0] if addresses else None
+        for home in addresses[1:min(self.vantage, len(addresses))]:
+            detector = PhiAccrualDetector(
+                self.domain.scheduler.clock,
+                expected_interval_ms=self.interval_ms,
+                threshold=self.threshold, window=self.window)
+            monitor = HeartbeatMonitor(self.domain, detector,
+                                       interval_ms=self.interval_ms,
+                                       home=home)
+            self._vantages.append((monitor, detector))
+        for monitor, _ in self._vantages:
+            monitor.start()
         if self.watch_nodes:
             # One endpoint per node: the gateway capsule every node gets
             # at creation — node-level liveness for placement decisions.
-            for address in sorted(self.domain.nuclei):
-                self.monitor.watch(address, "gateway")
+            for address in addresses:
+                self._watch(address, "gateway")
         self._watch_group_members()
         self.poll_event = self.domain.scheduler.every(
             self.poll_interval_ms, self._poll, label="heal-poll")
@@ -105,7 +138,9 @@ class Supervisor:
         if self.poll_event is not None:
             self.poll_event.cancel()
             self.poll_event = None
-        self.monitor.stop()
+        for monitor, _ in self._vantages:
+            monitor.stop()
+        self._vantages = [(self.monitor, self.detector)]
         # Close any open unavailability windows; an unrepaired outage is
         # counted as downtime but contributes no MTTR sample.
         now = self.domain.scheduler.clock.now
@@ -122,16 +157,27 @@ class Supervisor:
 
     def _poll(self) -> None:
         self._watch_group_members()
-        self.detector.poll()
-        nodes = sorted({key[0] for key in self.detector.tracked()})
-        suspected = self.detector.suspected_nodes()
-        if nodes and len(suspected) * 2 > len(nodes):
-            # A majority of nodes going silent at once is the signature
-            # of a blind observer, not a dead fleet: rotate observation
-            # instead of mass-suspecting healthy members.
-            self.monitor.rehome()
-            self._span("heal.rehome", {"observer": self.monitor.observer,
-                                       "silent": len(suspected)})
+        for _, detector in self._vantages:
+            detector.poll()
+        # A vantage that lost sight of a *majority* of nodes at once is
+        # blind (its observer crashed or sits on the minority side of a
+        # partition), not watching a dead fleet: its verdicts are
+        # excluded and its observation rotates to the next node.
+        blind = [index for index, (_, detector)
+                 in enumerate(self._vantages)
+                 if self._is_blind(detector)]
+        for index in blind:
+            monitor, _ = self._vantages[index]
+            monitor.rehome()
+            self._span("heal.rehome", {"vantage": index,
+                                       "observer": monitor.observer})
+        if blind and len(blind) * 2 > len(self._vantages):
+            # Most of the panel cannot see a majority of the fleet: the
+            # likelier story is that the *supervisor's* side is the
+            # minority.  Declaring deaths or repairing from here is how
+            # split brain gets manufactured — hold everything.
+            self.minority_holds += 1
+            self._span("heal.minority-hold", {"blind": len(blind)})
             return
         self._suspect_members()
         # Account *before* repairing: a repair that lands this tick is
@@ -144,29 +190,91 @@ class Supervisor:
             if self.recover_singletons:
                 self._recover_singletons()
 
+    def _watch(self, node: str, capsule: str) -> None:
+        for monitor, _ in self._vantages:
+            if not monitor.watches(node, capsule):
+                monitor.watch(node, capsule)
+
     def _watch_group_members(self) -> None:
         """Heartbeat every group member endpoint (lazily, so groups
         created after start are picked up on the next tick)."""
         groups = self.domain.groups
         for group_id in groups.group_ids():
             for member in groups.group(group_id).view.members:
-                if not self.monitor.watches(member.node,
-                                            member.capsule_name):
-                    self.monitor.watch(member.node, member.capsule_name)
+                self._watch(member.node, member.capsule_name)
+
+    # -- panel verdicts -------------------------------------------------------
+
+    @staticmethod
+    def _is_blind(detector) -> bool:
+        nodes = {key[0] for key in detector.tracked()}
+        if not nodes:
+            return False
+        return len(detector.suspected_nodes()) * 2 > len(nodes)
+
+    def _credible(self) -> List:
+        return [detector for _, detector in self._vantages
+                if not self._is_blind(detector)]
+
+    def node_dead(self, node: str) -> bool:
+        """Quorum-of-vantage verdict: a majority of the credible
+        vantage points stopped hearing *node*."""
+        credible = self._credible()
+        if not credible:
+            return False
+        votes = sum(1 for detector in credible
+                    if not detector.node_alive(node))
+        return votes * 2 > len(credible)
+
+    def node_alive(self, node: str) -> bool:
+        """Panel-based liveness for placement decisions."""
+        return not self.node_dead(node)
+
+    def diagnose(self, node: str) -> str:
+        """Classify a node: ``alive``, ``partitioned`` or ``crashed``.
+
+        A node the panel declared dead but *some* vantage point still
+        positively hears (real heartbeats, not primed optimism) is
+        reachable from somewhere — partitioned, not crashed.  The
+        distinction gates the repairs that must not run twice: a
+        checkpointed singleton on a partitioned node is still running
+        and must not be resurrected into a second incarnation.
+        """
+        if not self.node_dead(node):
+            return "alive"
+        hear_window = 2.0 * self.interval_ms
+        if any(detector.node_heard(node, hear_window)
+               for _, detector in self._vantages):
+            return "partitioned"
+        return "crashed"
+
+    def vetoes_suspicion(self, node: str) -> bool:
+        """Second-guess an uncorroborated suspicion (registry hook).
+
+        True when the panel still believes *node* is alive — the
+        accuser merely cannot reach it, which is exactly what its own
+        partition would look like.
+        """
+        if not self.running or not self._credible():
+            return False
+        return not self.node_dead(node)
 
     def _suspect_members(self) -> None:
-        """Report members on silent nodes to the registry (view change)."""
+        """Report members on panel-dead nodes to the registry."""
+        now = self.domain.scheduler.clock.now
         groups = self.domain.groups
         for group_id in groups.group_ids():
             group = groups.group(group_id)
             for member in list(group.view.live_members()):
-                if self.detector.node_alive(member.node):
+                if not self.node_dead(member.node):
                     continue
-                groups.suspect(group_id, member)
+                kind = self.diagnose(member.node)
+                self._down_records[(group_id, member.index)] = (now, kind)
+                groups.suspect(group_id, member, corroborated=True)
                 self.suspicions_raised += 1
                 self._span("heal.suspect",
                            {"group": group_id, "member": member.index,
-                            "node": member.node})
+                            "node": member.node, "diagnosis": kind})
 
     # -- repairs -------------------------------------------------------------
 
@@ -184,7 +292,7 @@ class Supervisor:
                     break
                 if member.alive or member.layer is None:
                     continue
-                if not self.detector.node_alive(member.node):
+                if self.node_dead(member.node):
                     continue
                 try:
                     groups.revive(group_id, member.index)
@@ -195,6 +303,17 @@ class Supervisor:
                                 "error": type(exc).__name__})
                     continue
                 self.revivals += 1
+                record = self._down_records.pop(
+                    (group_id, member.index), None)
+                if record is not None and record[1] == "partitioned":
+                    # Merge-on-heal: the member was fenced out by a
+                    # partition, not a crash; its re-admission (view
+                    # reconciliation + state transfer in revive) is a
+                    # partition merge and its outage a reconciliation
+                    # MTTR sample.
+                    now = self.domain.scheduler.clock.now
+                    self.partition_merges += 1
+                    self.reconciliation_mttr_ms.append(now - record[0])
                 self._span("heal.revive",
                            {"group": group_id, "member": member.index,
                             "node": member.node})
@@ -213,7 +332,7 @@ class Supervisor:
                     break
                 for _, capsule in placement_candidates(
                         self.domain, capsule_name,
-                        liveness=self.detector.node_alive,
+                        liveness=self.node_alive,
                         exclude=member_hosts):
                     try:
                         member = groups.join(group_id, capsule)
@@ -225,7 +344,7 @@ class Supervisor:
                                     "error": type(exc).__name__})
                         continue
                     self.replacements += 1
-                    self.monitor.watch(member.node, member.capsule_name)
+                    self._watch(member.node, member.capsule_name)
                     self._span("heal.replace",
                                {"group": group_id, "member": member.index,
                                 "node": member.node})
@@ -253,11 +372,14 @@ class Supervisor:
             if current is None or not current.paths:
                 continue
             path = current.primary_path()
-            if self.detector.node_alive(path.node):
+            # Resume exactly once: only a *crashed* singleton may be
+            # re-instated.  A partitioned one is still running on the
+            # far side; recovering it here would fork its identity.
+            if self.diagnose(path.node) != "crashed":
                 continue
             for _, capsule in placement_candidates(
                     self.domain, path.capsule,
-                    liveness=self.detector.node_alive,
+                    liveness=self.node_alive,
                     exclude=(path.node,)):
                 try:
                     self.domain.recovery.recover(interface_id, capsule)
@@ -315,16 +437,26 @@ class Supervisor:
     def report(self) -> Dict:
         """MTTR/availability counters for the management plane."""
         samples = self.mttr_samples
+        merges = self.reconciliation_mttr_ms
         return {
             "detector": self.detector.stats(),
             "observer": self.monitor.observer,
-            "beats_sent": self.monitor.beats_sent,
-            "rehomes": self.monitor.rehomes,
+            "vantage": len(self._vantages),
+            "beats_sent": sum(m.beats_sent for m, _ in self._vantages),
+            "rehomes": sum(m.rehomes for m, _ in self._vantages),
             "suspicions_raised": self.suspicions_raised,
             "revivals": self.revivals,
             "replacements": self.replacements,
             "singleton_recoveries": self.singleton_recoveries,
             "repair_failures": self.repair_failures,
+            "minority_holds": self.minority_holds,
+            "partition_merges": self.partition_merges,
+            "reconciliation_mttr_ms": {
+                "merges": len(merges),
+                "mean": (round(sum(merges) / len(merges), 3)
+                         if merges else 0.0),
+                "max": round(max(merges), 3) if merges else 0.0,
+            },
             "mttr_ms": {
                 "repairs": len(samples),
                 "mean": (round(sum(samples) / len(samples), 3)

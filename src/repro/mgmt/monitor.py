@@ -115,6 +115,20 @@ class TransparencyMonitor:
             report["groups"] = {
                 "suspicions": domain.groups.suspicions,
             }
+            partitions = dict(domain.groups.partition_stats())
+            if domain._supervisor is not None:
+                supervisor = domain.supervisor
+                merges = supervisor.reconciliation_mttr_ms
+                partitions["minority_holds"] = supervisor.minority_holds
+                partitions["partition_merges"] = \
+                    supervisor.partition_merges
+                partitions["reconciliation_mttr_ms"] = {
+                    "merges": len(merges),
+                    "mean": (round(sum(merges) / len(merges), 3)
+                             if merges else 0.0),
+                    "max": round(max(merges), 3) if merges else 0.0,
+                }
+            report["partitions"] = partitions
         if domain._supervisor is not None:
             report["heal"] = domain.supervisor.report()
         report["resilience"] = self.resilience_report()

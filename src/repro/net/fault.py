@@ -32,6 +32,11 @@ class FaultPlan:
         self._crashed: Set[str] = set()
         self._cut_links: Set[Tuple[str, str]] = set()
         self._partition_of: Dict[str, int] = {}
+        #: Node names the network has registered; used to validate
+        #: partition declarations (empty = standalone plan, no checks).
+        self.known_nodes: Set[str] = set()
+        #: Directional asymmetric-partition blocks: (src, dst) pairs.
+        self._asym_blocked: Set[Tuple[str, str]] = set()
         #: Directional per-link drop probabilities: (src, dst) -> p.
         self._link_drop: Dict[Tuple[str, str], float] = {}
         #: Directional one-shot losses: (src, dst) -> messages to drop.
@@ -154,21 +159,86 @@ class FaultPlan:
 
     # -- partitions ----------------------------------------------------------
 
-    def partition(self, *groups) -> None:
-        """Split nodes into disjoint groups that cannot reach each other.
+    def register_node(self, node: str) -> None:
+        """Teach the plan a node name exists (called by the network)."""
+        self.known_nodes.add(node)
 
-        ``partition(["a", "b"], ["c"])`` isolates c from a and b.  Nodes not
-        mentioned remain reachable from everyone.
+    def _validate_nodes(self, nodes) -> None:
+        """Partitioning a typo'd node silently partitions *nothing*
+        (the real node keeps its links), so unknown names are rejected
+        whenever the plan knows the topology at all."""
+        if not self.known_nodes:
+            return  # standalone plan: no topology to validate against
+        unknown = sorted(set(nodes) - self.known_nodes)
+        if unknown:
+            raise ValueError(
+                f"partition names unknown node(s) {unknown}; known "
+                f"nodes: {sorted(self.known_nodes)}")
+
+    def partition(self, *groups) -> None:
+        """Split nodes into groups that cannot reach each other.
+
+        ``partition(["a", "b"], ["c"])`` isolates c from a and b.  Nodes
+        not mentioned remain reachable from everyone.  Calls are
+        *incremental*: a later ``partition`` reassigns only the nodes it
+        names (into fresh sides), leaving every unmentioned node on the
+        side it already had — so overlapping chaos windows compose
+        instead of silently erasing each other.  Node names are
+        validated against the network's known nodes.
         """
-        self._partition_of.clear()
+        mentioned: Set[str] = set()
+        for group in groups:
+            for node in group:
+                if node in mentioned:
+                    raise ValueError(f"node {node} in two partition groups")
+                mentioned.add(node)
+        self._validate_nodes(mentioned)
+        base = max(self._partition_of.values(), default=-1) + 1
         for index, group in enumerate(groups):
             for node in group:
-                if node in self._partition_of:
-                    raise ValueError(f"node {node} in two partition groups")
-                self._partition_of[node] = index
+                self._partition_of[node] = base + index
 
-    def heal_partition(self) -> None:
-        self._partition_of.clear()
+    def asym_partition(self, sources, destinations) -> None:
+        """Block the *directed* links source -> destination only.
+
+        Models one-way reachability loss (a router dropping egress, an
+        asymmetric firewall): a sequencer that can still *hear* its
+        replicas but cannot reach them, or vice versa.  Replies travel
+        the reverse direction and are unaffected.
+        """
+        sources, destinations = list(sources), list(destinations)
+        self._validate_nodes(set(sources) | set(destinations))
+        for src in sources:
+            for dst in destinations:
+                if src != dst:
+                    self._asym_blocked.add((src, dst))
+
+    def heal_asym_partition(self, sources=None, destinations=None) -> None:
+        """Unblock directed links; with no arguments, all of them."""
+        if sources is None and destinations is None:
+            self._asym_blocked.clear()
+            return
+        sources = None if sources is None else set(sources)
+        destinations = None if destinations is None else set(destinations)
+        self._asym_blocked = {
+            (src, dst) for (src, dst) in self._asym_blocked
+            if not ((sources is None or src in sources)
+                    and (destinations is None or dst in destinations))}
+
+    def heal_partition(self, node: Optional[str] = None) -> None:
+        """Heal partitions; with *node*, rejoin that single node only.
+
+        ``heal_partition("a")`` removes a from its symmetric side,
+        leaving every other partition assignment — and all asymmetric
+        blocks, which have their own :meth:`heal_asym_partition` — in
+        place, so overlapping chaos windows compose instead of healing
+        each other.  Without arguments everything is healed.
+        """
+        if node is None:
+            self._partition_of.clear()
+            self._asym_blocked.clear()
+            return
+        self._partition_of.pop(node, None)
 
     # -- chaos schedules -------------------------------------------------------
 
@@ -214,6 +284,8 @@ class FaultPlan:
         if source in self._crashed or destination in self._crashed:
             return True
         if self._key(source, destination) in self._cut_links:
+            return True
+        if (source, destination) in self._asym_blocked:
             return True
         side_a = self._partition_of.get(source)
         side_b = self._partition_of.get(destination)
@@ -268,6 +340,37 @@ class CutWindow:
 
     a: str
     b: str
+    start_ms: float
+    end_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Split the network into *groups* at start_ms; rejoin at end_ms.
+
+    ``groups`` is a tuple of tuples of node names (tuples, not lists,
+    so the window's repr stays a valid literal for pinned plans).  On
+    exit every named node is rejoined individually via
+    :meth:`FaultPlan.heal_partition`, so overlapping partition windows
+    compose: healing this window leaves sides declared by others
+    intact.  ``end_ms=None`` leaves the split in place forever.
+    """
+
+    groups: Tuple[Tuple[str, ...], ...]
+    start_ms: float
+    end_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AsymPartitionWindow:
+    """Block the directed links sources -> destinations for a window.
+
+    Models one-way reachability loss; replies travelling the reverse
+    direction are unaffected.  ``end_ms=None`` never heals.
+    """
+
+    sources: Tuple[str, ...]
+    destinations: Tuple[str, ...]
     start_ms: float
     end_ms: Optional[float] = None
 
@@ -389,6 +492,32 @@ class FaultSchedule:
                 steps.append((window.end_ms,
                               lambda plan, a=a, b=b:
                               plan.heal_link(a, b)))
+            return steps
+
+        if isinstance(window, PartitionWindow):
+            groups = tuple(tuple(group) for group in window.groups)
+            steps = [(window.start_ms,
+                      lambda plan, groups=groups:
+                      plan.partition(*groups))]
+            if window.end_ms is not None:
+                nodes = tuple(n for group in groups for n in group)
+
+                def leave(plan, nodes=nodes):
+                    for node in nodes:
+                        plan.heal_partition(node)
+                steps.append((window.end_ms, leave))
+            return steps
+
+        if isinstance(window, AsymPartitionWindow):
+            srcs = tuple(window.sources)
+            dsts = tuple(window.destinations)
+            steps = [(window.start_ms,
+                      lambda plan, srcs=srcs, dsts=dsts:
+                      plan.asym_partition(srcs, dsts))]
+            if window.end_ms is not None:
+                steps.append((window.end_ms,
+                              lambda plan, srcs=srcs, dsts=dsts:
+                              plan.heal_asym_partition(srcs, dsts)))
             return steps
 
         raise TypeError(f"unknown chaos window {window!r}")

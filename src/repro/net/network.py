@@ -129,6 +129,7 @@ class Network:
             raise ValueError(f"duplicate node address {address!r}")
         node = NetworkNode(address, native_format)
         self._nodes[address] = node
+        self.faults.register_node(address)
         return node
 
     def node(self, address: str) -> NetworkNode:

@@ -151,8 +151,11 @@ class World:
     def partition(self, *groups) -> None:
         self.faults.partition(*groups)
 
-    def heal_partition(self) -> None:
-        self.faults.heal_partition()
+    def asym_partition(self, sources, destinations) -> None:
+        self.faults.asym_partition(sources, destinations)
+
+    def heal_partition(self, node=None) -> None:
+        self.faults.heal_partition(node)
 
     # -- reporting --------------------------------------------------------------
 

@@ -155,3 +155,57 @@ def test_supervisor_mode_plan_is_deterministic():
     assert first.digest == second.digest
     heal = first.end_state["heal"]
     assert heal["detector"]["heartbeats_observed"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Pinned quorum-barrier scenario (split-brain oracle)
+# ---------------------------------------------------------------------------
+#
+# Hand-shrunk from the --partitions --mutate quorumbarrier sweep: a
+# symmetric partition strands the client with the sequencer (n1) away
+# from the quorum (n2, n3), and one group write lands inside the
+# window.  With the barrier skipped, the sequencer applies the write
+# before counting acks and keeps it on quorum failure — the commit
+# ledger then holds an under-quorum certificate, which is exactly (and
+# only) what the split_brain oracle must trip on.
+
+def _quorumbarrier_minimal():
+    from repro.net.fault import PartitionWindow
+
+    return Plan(seed=1, ops=[
+        Op("group_put", key="k0", value="v0"),
+    ], windows=[
+        PartitionWindow((("cli", "n1"), ("n2", "n3")), 0.0, 100.0),
+    ])
+
+
+def test_quorumbarrier_minimal_plan_still_detected():
+    config = CheckConfig().with_partitions() \
+                          .with_mutations("quorumbarrier")
+    result = run_plan(_quorumbarrier_minimal(), config)
+    violations = run_all(result)
+    assert {v.oracle for v in violations} == {"split_brain"}
+    # The evidence is the dirty coordinator ledger entry itself.
+    sequencer = next(m for m in result.member_states
+                     if m["commits"] and m["commits"][-1][2] is not None)
+    assert sequencer["commits"][-1][2] < config.reply_quorum
+
+
+def test_quorumbarrier_minimal_plan_clean_without_mutation():
+    config = CheckConfig().with_partitions()
+    result = run_plan(_quorumbarrier_minimal(), config)
+    assert run_all(result) == []
+    # Non-vacuous: ledgers were recorded, the write simply rolled back.
+    assert all(m["commits"] == [] for m in result.member_states)
+
+
+def test_partitions_mode_plan_is_deterministic():
+    from repro.check.explorer import run_seed
+
+    config = CheckConfig().with_partitions()
+    first = run_seed(3, config)
+    second = run_seed(3, config)
+    assert run_all(first) == []
+    assert first.digest == second.digest
+    assert "partitions" in first.end_state
+    assert all("commits" in m for m in first.member_states)
