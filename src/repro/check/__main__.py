@@ -54,6 +54,15 @@ def _parse(argv: Optional[List[str]]) -> argparse.Namespace:
                              "batch_burst ops via a BatchClient, with "
                              "token-bucket admission control shedding "
                              "overload on every server")
+    parser.add_argument("--shards", action="store_true",
+                        help="stand up a sharded object space "
+                             "(repro.shard) over the server nodes: "
+                             "keyed ops route through the consistent-"
+                             "hash ring, shard_move ops drain/re-admit "
+                             "nodes mid-traffic; the shard_routing "
+                             "oracle then requires every write to "
+                             "execute on the epoch-current owner "
+                             "exactly once")
     parser.add_argument("--shrink", action="store_true",
                         help="shrink the first failing plan and print "
                              "a reproduction script")
@@ -75,13 +84,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = config.with_batching()
     if args.partitions:
         config = config.with_partitions()
+    if args.shards:
+        config = config.with_shards()
 
     print(f"repro.check: {args.seeds} seeds from {args.base_seed}, "
           f"{config.ops} ops/plan, mutations="
           f"{list(config.mutations) or 'none'}, "
           f"supervisor={'on' if config.supervisor else 'off'}, "
           f"batching={'on' if config.batching else 'off'}, "
-          f"partitions={'on' if config.partitions else 'off'}")
+          f"partitions={'on' if config.partitions else 'off'}, "
+          f"shards={'on' if config.shards else 'off'}")
 
     started = time.monotonic()
     per_oracle = {name: 0 for name in ORACLES}

@@ -25,7 +25,7 @@ from repro.check.plan import (
     Plan,
     generate_plan,
 )
-from repro.check.workload import Account, Counter, KvStore
+from repro.check.workload import Account, Counter, KvStore, ShardStore
 from repro.comp.constraints import EnvironmentConstraints, ReplicationSpec
 from repro.comp.interface import InterfaceState
 from repro.comp.invocation import QoS
@@ -87,12 +87,25 @@ class CheckConfig:
     #: ``split_brain`` oracle.  Gated (not default) so pinned plans and
     #: digests in the regression corpus stay byte-identical.
     partitions: bool = False
+    #: Stand up a sharded object space (repro.shard) over the server
+    #: nodes: plans gain keyed ``shard_incr``/``shard_get`` ops routed
+    #: through the consistent-hash ring and ``shard_move`` ops that
+    #: drain/re-admit nodes mid-traffic.  Activates the
+    #: ``shard_routing`` oracle.
+    shards: bool = False
+    shard_count: int = 8
 
     def with_batching(self) -> "CheckConfig":
         return replace(self, batching=True)
 
     def with_partitions(self) -> "CheckConfig":
         return replace(self, partitions=True)
+
+    def with_shards(self, count: Optional[int] = None) -> "CheckConfig":
+        changes: Dict[str, Any] = {"shards": True}
+        if count is not None:
+            changes["shard_count"] = count
+        return replace(self, **changes)
 
     def with_mutations(self, *names: str) -> "CheckConfig":
         for name in names:
@@ -147,6 +160,14 @@ class RunResult:
     collected: List[str]
     #: Minimal span records for the clock oracle.
     spans: List[Dict[str, Any]]
+    #: key -> {"acked": n, "ambiguous": n, "shed": n} per shard key
+    #: (shards mode; same envelope semantics as ``counters``).
+    shard_writes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    shard_final: Dict[str, Optional[int]] = field(default_factory=dict)
+    #: The shard fences' write-execution log: one entry per dispatched
+    #: non-readonly shard invocation — {inv_id, op, shard, node, owner,
+    #: epoch} — the ``shard_routing`` oracle's evidence.
+    shard_log: List[Dict[str, Any]] = field(default_factory=list)
     violations: list = field(default_factory=list)
 
 
@@ -215,6 +236,16 @@ class _Run:
             KvStore, [self.srv[node] for node in SERVER_NODES],
             spec, group_id="check.kv")
         self.gproxy = self.binder.bind(gref, qos=self.qos)
+
+        self.space = None
+        self.shard_writes: Dict[str, Dict[str, int]] = {}
+        if config.shards:
+            self.space = self.domain.shards.create(
+                "check.grid", ShardStore,
+                [self.srv[node] for node in SERVER_NODES],
+                shards=config.shard_count)
+            self.space.record_executions = True
+            self.sproxy = self.space.bind(self.app, qos=self.qos)
 
         self.supervisor = None
         if config.supervisor:
@@ -491,6 +522,51 @@ class _Run:
         self.world.faults.lose_next(node, CLIENT_NODE)
         return "ok", node
 
+    def _op_shard_incr(self, op):
+        if self.space is None:
+            return "noop", None
+        key = str(op.get("key", "s0"))
+        outcome, value = self._attempt(self.sproxy.incr, key)
+        entry = self.shard_writes.setdefault(
+            key, {"acked": 0, "ambiguous": 0, "shed": 0})
+        if outcome == "ok":
+            entry["acked"] += 1
+        elif outcome == "failed:ServerBusyError":
+            entry["shed"] += 1
+        else:
+            entry["ambiguous"] += 1
+        return outcome, value
+
+    def _op_shard_get(self, op):
+        if self.space is None:
+            return "noop", None
+        return self._attempt(self.sproxy.get, str(op.get("key", "s0")))
+
+    def _op_shard_move(self, op):
+        """Toggle a node's ring membership: drain it (staged, fenced
+        migrations of every shard it owns) or re-admit it.  Moves need
+        live source and target capsules, so the whole-fleet crash guard
+        keeps the op deterministic rather than half-draining."""
+        if self.space is None:
+            return "noop", None
+        node = op.get("node")
+        if node not in SERVER_NODES:
+            return "noop", None
+        faults = self.world.faults
+        if any(faults.is_crashed(n) for n in SERVER_NODES):
+            return "skipped:crashed", node
+        on_ring = node in self.space.ring.nodes()
+        try:
+            if on_ring:
+                if len(self.space.ring.nodes()) <= 1:
+                    return "noop", node
+                moves = self.space.rebalancer.node_left(node)
+                return "ok", f"leave:{node}:{len(moves)}"
+            moves = self.space.rebalancer.node_joined(self.srv[node])
+            return "ok", f"join:{node}:{len(moves)}"
+        except OdpError as exc:
+            return f"failed:{type(exc).__name__}", node
+
     # -- epilogue ------------------------------------------------------------
 
     def heal(self) -> None:
@@ -560,6 +636,13 @@ class _Run:
                                      _qos=final_qos)
             accounts_final[name] = value
 
+        shard_final: Dict[str, Optional[int]] = {}
+        if self.space is not None:
+            for key in sorted(self.shard_writes):
+                _, value = self._attempt(self.sproxy.get, key,
+                                         _qos=final_qos)
+                shard_final[key] = value
+
         group_final: Dict[str, Optional[str]] = {}
         for key in sorted(self.group_writes):
             _, value = self._attempt(self.gproxy.get, key,
@@ -623,6 +706,18 @@ class _Run:
             "drops": self.world.faults.drops,
             "spans": len(spans),
         }
+        if self.space is not None:
+            report = self.space.report()
+            end_state["shard"] = {
+                "final": shard_final,
+                "epoch": report["epoch"],
+                "per_node": report["per_node"],
+                "migrations": report["migrations"],
+                "recoveries": report["recoveries"],
+                "fenced_rejections": report["fenced_rejections"],
+                "stale_hits": report["stale_hits"],
+                "chases": report["chases"],
+            }
         if self.supervisor is not None:
             end_state["heal"] = self.supervisor.report()
         if self.config.partitions:
@@ -653,6 +748,10 @@ class _Run:
             gc_observations=self.gc_observations,
             collected=sorted(self.collected),
             spans=spans,
+            shard_writes=self.shard_writes,
+            shard_final=shard_final,
+            shard_log=(list(self.space.execution_log)
+                       if self.space is not None else []),
         )
 
 

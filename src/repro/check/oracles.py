@@ -298,12 +298,69 @@ def split_brain(result) -> List[Violation]:
     return violations
 
 
+def shard_routing(result) -> List[Violation]:
+    """Every shard write ran on the epoch-current owner, exactly once.
+
+    Judged against the shard fences' write-execution log recorded in
+    shards mode.  Three clauses:
+
+    * *Per-key envelope*: keyed increments obey the same exactly-once
+      bound as the counters — acked <= final <= acked + ambiguous —
+      across every migration window the plan's ``shard_move`` ops (and
+      the supervisor, when enabled) opened.  A write that executed on
+      both sides of a cutover overshoots the upper bound.
+    * *No double dispatch*: no invocation id appears twice in the log.
+      Retransmissions are answered from the reply cache before dispatch
+      (the dedup window travels with graceful moves), so a second log
+      entry means the same write reached two object incarnations.
+    * *Owner of record*: every logged write was dispatched on the node
+      the space's ownership table named at that moment.  A stale router
+      is allowed through only once its chase lands on the real owner;
+      an entry with ``node != owner`` means a fence let a misrouted
+      write execute.
+    """
+    if not getattr(result.config, "shards", False):
+        return []
+    violations = []
+    for key in sorted(result.shard_writes):
+        final = result.shard_final.get(key)
+        if final is None:
+            continue  # unreadable at the end: no final observation
+        acked = result.shard_writes[key]["acked"]
+        ambiguous = result.shard_writes[key]["ambiguous"]
+        if not acked <= final <= acked + ambiguous:
+            violations.append(Violation(
+                "shard_routing",
+                f"key {key!r}: final={final} outside "
+                f"[{acked}, {acked + ambiguous}] (acked={acked}, "
+                f"ambiguous={ambiguous})"))
+    executed: Dict[str, str] = {}
+    for entry in result.shard_log:
+        inv_id = entry["inv_id"]
+        if inv_id in executed:
+            violations.append(Violation(
+                "shard_routing",
+                f"invocation {inv_id} dispatched twice (shard "
+                f"{entry['shard']}: first on {executed[inv_id]!r}, "
+                f"again on {entry['node']!r})"))
+        else:
+            executed[inv_id] = entry["node"]
+        if entry["node"] != entry["owner"]:
+            violations.append(Violation(
+                "shard_routing",
+                f"write {inv_id} on shard {entry['shard']} executed "
+                f"by {entry['node']!r} but the owner of record was "
+                f"{entry['owner']!r}"))
+    return violations
+
+
 #: The oracle catalogue, in reporting order.
 ORACLES: Dict[str, Callable] = {
     "exactly_once": exactly_once,
     "tx_atomicity": tx_atomicity,
     "group_consistency": group_consistency,
     "split_brain": split_brain,
+    "shard_routing": shard_routing,
     "relocation": relocation,
     "gc_safety": gc_safety,
     "clock_monotonic": clock_monotonic,

@@ -45,6 +45,9 @@ OP_KINDS = (
     "advance",          # advance the virtual clock (lease/lifecycle time)
     "lose_reply",       # deterministically drop the next reply leg
     "batch_burst",      # n concurrent increments through the batch client
+    "shard_incr",       # keyed increment routed through the shard space
+    "shard_get",        # keyed read through the shard space
+    "shard_move",       # ring membership toggle: drain or re-admit a node
 )
 
 
@@ -138,8 +141,28 @@ _OP_WEIGHTS = (
 #: (seed, config), and widening the default table would silently change
 #: every pinned plan and digest in the regression corpus.
 _OP_WEIGHTS_BATCHING = _OP_WEIGHTS + (("batch_burst", 10),)
+#: Shard-mode rows, appended *after* any batching row so every existing
+#: mode's table (and therefore its pinned plans) stays byte-identical.
+_OP_WEIGHTS_SHARDS = (
+    ("shard_incr", 16),
+    ("shard_get", 6),
+    ("shard_move", 5),
+)
 
 _KEYS = ("k0", "k1", "k2", "k3", "k4", "k5")
+#: Shard-mode keyspace: wide enough to spread over many shards, small
+#: enough that most keys see several writes (exercising the per-key
+#: exactly-once envelope rather than a sea of one-shot keys).
+_SHARD_KEYS = ("s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8",
+               "s9")
+
+
+def _weights_for(config):
+    weights = (_OP_WEIGHTS_BATCHING
+               if getattr(config, "batching", False) else _OP_WEIGHTS)
+    if getattr(config, "shards", False):
+        weights = weights + _OP_WEIGHTS_SHARDS
+    return weights
 
 
 def _pick_kind(rng: DeterministicRandom, weights=_OP_WEIGHTS) -> str:
@@ -152,9 +175,11 @@ def _pick_kind(rng: DeterministicRandom, weights=_OP_WEIGHTS) -> str:
 
 
 def _generate_op(rng: DeterministicRandom, config, index: int) -> Op:
-    weights = (_OP_WEIGHTS_BATCHING
-               if getattr(config, "batching", False) else _OP_WEIGHTS)
-    kind = _pick_kind(rng, weights)
+    kind = _pick_kind(rng, _weights_for(config))
+    if kind == "shard_incr" or kind == "shard_get":
+        return Op(kind, key=rng.choice(_SHARD_KEYS))
+    if kind == "shard_move":
+        return Op(kind, node=rng.choice(SERVER_NODES))
     if kind == "batch_burst":
         return Op(kind, counter=rng.randint(0, config.counters - 1),
                   n=rng.randint(2, 10))

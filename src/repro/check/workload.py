@@ -56,6 +56,28 @@ class Account(OdpObject):
         return self.balance
 
 
+class ShardStore(OdpObject):
+    """Keyed counter: the sharded exactly-once canary.
+
+    Every shard of a :class:`~repro.shard.space.ShardSpace` holds one of
+    these; ``incr`` is non-idempotent so a double-execution during a
+    migration window (or a write served by a non-owner) shows up in the
+    per-key final value, not just in the routing log.
+    """
+
+    def __init__(self) -> None:
+        self.data = {}
+
+    @operation(params=[str], returns=[int])
+    def incr(self, key):
+        self.data[key] = self.data.get(key, 0) + 1
+        return self.data[key]
+
+    @operation(params=[str], returns=[int], readonly=True)
+    def get(self, key):
+        return self.data.get(key, 0)
+
+
 class KvStore(OdpObject):
     """The replicated-state workhorse behind the object group."""
 

@@ -67,6 +67,9 @@ class Nucleus:
         self.batchers = []
         #: TransportLayers opened by this node's capsules, likewise.
         self.transports = []
+        #: RelocationLayers attached by this node's channels — the
+        #: monitor aggregates their chase/repair churn counters.
+        self.relocation_layers = []
         self._tracer = None
         node.on_request(self._handle_request)
         node.on_deliver("invoke", self._handle_announcement)

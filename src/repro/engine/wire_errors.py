@@ -29,6 +29,7 @@ _CODES = (
     ("fenced", errors.EpochFencedError),
     ("group_unavailable", errors.GroupUnavailableError),
     ("group", errors.GroupError),
+    ("wrong_shard", errors.WrongShardError),
     ("stale", errors.StaleReferenceError),
     ("closed", errors.InterfaceClosedError),
     ("unknown_op", errors.UnknownOperationError),

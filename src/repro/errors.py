@@ -101,6 +101,21 @@ class InterfaceClosedError(OdpError):
     """The interface was explicitly closed (section 7.3) or withdrawn."""
 
 
+class WrongShardError(OdpError):
+    """The invocation reached a node that does not own the target shard.
+
+    Raised by the shard fence layer (``repro.shard``) *before* the
+    operation executes, in two situations: the shard is fenced for an
+    in-flight migration, or the invocation's stamped ring epoch is stale
+    and this node is no longer the shard's owner (a zombie pre-move
+    record on a restarted node).  Because rejection happens pre-dispatch
+    the error is *retryable*: the router refreshes its ring view and
+    re-routes the same invocation without any risk of double execution.
+    """
+
+    retryable = True
+
+
 # ---------------------------------------------------------------------------
 # Transaction errors (concurrency transparency, section 5.2)
 # ---------------------------------------------------------------------------

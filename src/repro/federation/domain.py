@@ -44,6 +44,7 @@ class Domain:
         self._collector = None
         self._tracer = None
         self._supervisor = None
+        self._shards = None
 
     # -- structure -------------------------------------------------------------
 
@@ -219,6 +220,14 @@ class Domain:
             from repro.heal.supervisor import Supervisor
             self._supervisor = Supervisor(self)
         return self._supervisor
+
+    @property
+    def shards(self):
+        """The sharded-object-space registry (``repro.shard``)."""
+        if self._shards is None:
+            from repro.shard.space import ShardManager
+            self._shards = ShardManager(self)
+        return self._shards
 
     # -- hooks used by the engine ---------------------------------------------------
 

@@ -87,6 +87,9 @@ class Supervisor:
         #: at suspicion time, consumed at revival for merge-on-heal
         #: accounting.
         self._down_records: Dict = {}
+        #: (space_name, node) -> first panel-dead verdict time, so shard
+        #: drain MTTR samples include detection latency.
+        self._shard_down: Dict = {}
         # Repair/availability counters (all virtual-time).
         self.suspicions_raised = 0
         self.revivals = 0
@@ -189,6 +192,7 @@ class Supervisor:
             self._repair_groups()
             if self.recover_singletons:
                 self._recover_singletons()
+            self._rebalance_shards()
 
     def _watch(self, node: str, capsule: str) -> None:
         for monitor, _ in self._vantages:
@@ -362,6 +366,13 @@ class Supervisor:
         member_iids = {member.interface_id
                        for group_id in groups.group_ids()
                        for member in groups.group(group_id).view.members}
+        if self.domain._shards is not None:
+            # Shards heal through their space's rebalancer (epoch-fenced
+            # cutover + ownership publish); recovering one here would
+            # bypass the fence and strand the space's routing state.
+            for space in self.domain.shards.spaces():
+                member_iids.update(space.shard_id(index)
+                                   for index in range(space.shard_count))
         relocator = self.domain.relocator
         prefix = checkpoint_key("")
         for key in self.domain.repository.keys(kind="checkpoint"):
@@ -396,6 +407,78 @@ class Supervisor:
                             "from": path.node,
                             "to": capsule.nucleus.node_address})
                 break
+
+    def _rebalance_shards(self) -> None:
+        """Drive shard-space rebalancing from panel verdicts.
+
+        A member node the panel declares dead *and* diagnoses crashed is
+        drained: its shards are re-instated from checkpoints elsewhere
+        through the space's own rebalancer (epoch-fenced cutover), with
+        the degraded window measured from the first dead verdict so the
+        MTTR samples include detection latency.  A partitioned owner is
+        held — its shards are still running on the far side, and
+        recovering them here would fork their identity.  A previously
+        known member that heartbeats again is re-admitted, migrating its
+        ring share back.
+        """
+        if self.domain._shards is None:
+            return
+        now = self.domain.scheduler.clock.now
+        for space in self.domain.shards.spaces():
+            rebalancer = space.rebalancer
+            members = set(space.ring.nodes()) | set(space.owners.values())
+            for node in sorted(members):
+                key = (space.name, node)
+                if not self.node_dead(node):
+                    self._shard_down.pop(key, None)
+                    continue
+                down_since = self._shard_down.setdefault(key, now)
+                if self.diagnose(node) != "crashed":
+                    continue
+                try:
+                    if space.ring.has_node(node):
+                        moves = rebalancer.node_left(
+                            node, dead=True, down_since=down_since)
+                    else:
+                        # A previous drain left orphans (a recovery
+                        # failed): converge again.
+                        moves = rebalancer.rebalance(
+                            dead=frozenset((node,)),
+                            down_since=down_since)
+                except OdpError as exc:
+                    self.repair_failures += 1
+                    self._span("heal.shard-drain-failed",
+                               {"space": space.name, "node": node,
+                                "error": type(exc).__name__})
+                    continue
+                if node not in set(space.owners.values()):
+                    self._shard_down.pop(key, None)
+                if moves:
+                    self._span("heal.shard-drain",
+                               {"space": space.name, "node": node,
+                                "moves": len(moves)})
+            # Re-admit recovered members: alive again, previously
+            # registered, currently off the ring.  (Brand-new capacity
+            # is the operator's call — node_joined with a capsule.)
+            for node in sorted(space.capsules):
+                if space.ring.has_node(node) or not self.node_alive(node):
+                    continue
+                capsule = space.capsules[node]
+                nucleus = self.domain.nuclei.get(node)
+                if nucleus is None or \
+                        nucleus.capsules.get(capsule.name) is not capsule:
+                    continue
+                try:
+                    moves = rebalancer.node_joined(capsule)
+                except OdpError as exc:
+                    self.repair_failures += 1
+                    self._span("heal.shard-rejoin-failed",
+                               {"space": space.name, "node": node,
+                                "error": type(exc).__name__})
+                    continue
+                self._span("heal.shard-rejoin",
+                           {"space": space.name, "node": node,
+                            "moves": len(moves)})
 
     # -- availability accounting ---------------------------------------------
 

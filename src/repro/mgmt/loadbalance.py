@@ -27,6 +27,23 @@ class BalanceMove:
     load_share: float
 
 
+def observed_liveness(domain):
+    """The domain's default node-health judgment, or ``None``.
+
+    The same source of truth ``ManagementService.node_health`` reports
+    from: the running supervisor's observation-based verdicts (the
+    vantage panel).  Liveness is judged from observed behaviour, never
+    from fault-plan ground truth — and with no running supervisor there
+    simply is no opinion.
+    """
+    if domain is None or getattr(domain, "_supervisor", None) is None:
+        return None
+    supervisor = domain.supervisor
+    if not supervisor.running:
+        return None
+    return supervisor.node_alive
+
+
 def placement_candidates(domain, capsule_name: str, liveness=None,
                          exclude=()):
     """Healthy placement targets for a replica or recovered object.
@@ -35,10 +52,15 @@ def placement_candidates(domain, capsule_name: str, liveness=None,
     *capsule_name* capsule, is not in *exclude*, and is alive according
     to *liveness* (a ``node_address -> bool`` callable — typically the
     supervisor's failure detector; liveness is judged from observed
-    behaviour, never from fault-plan ground truth).  Candidates are
-    ordered least-loaded first (total invocations served across the
-    capsule's interfaces), ties broken by address for determinism.
+    behaviour, never from fault-plan ground truth).  When *liveness* is
+    omitted it defaults to :func:`observed_liveness`, so placement
+    never targets a node the domain's own health judgment calls dead or
+    suspect.  Candidates are ordered least-loaded first (total
+    invocations served across the capsule's interfaces), ties broken by
+    address for determinism.
     """
+    if liveness is None:
+        liveness = observed_liveness(domain)
     candidates = []
     for address in sorted(domain.nuclei):
         if address in exclude:

@@ -63,12 +63,24 @@ class TransparencyMonitor:
         report: Dict[str, Any] = {"domain": domain.name}
         if domain._relocator is not None:
             relocator = domain.relocator
+            # Chase churn aggregated over every client-side relocation
+            # layer in the domain: how often bindings actually had to be
+            # repaired, and from which source (hint vs. lookup).
+            repairs = stale_hints = chases = 0
+            for nucleus in domain.nuclei.values():
+                for layer in nucleus.relocation_layers:
+                    repairs += layer.repairs
+                    stale_hints += layer.hint_repairs
+                    chases += layer.lookup_repairs
             report["relocation"] = {
                 "known": relocator.known(),
                 "registrations": relocator.registrations,
                 "updates": relocator.updates,
                 "lookups": relocator.lookups,
                 "misses": relocator.misses,
+                "repairs": repairs,
+                "stale_hints": stale_hints,
+                "chases": chases,
             }
         if domain._tx_manager is not None:
             manager = domain.tx_manager
@@ -129,6 +141,8 @@ class TransparencyMonitor:
                     "max": round(max(merges), 3) if merges else 0.0,
                 }
             report["partitions"] = partitions
+        if domain._shards is not None:
+            report["shard"] = domain.shards.report()
         if domain._supervisor is not None:
             report["heal"] = domain.supervisor.report()
         report["resilience"] = self.resilience_report()

@@ -38,6 +38,11 @@ class RelocationLayer(ClientLayer):
 
     def attach(self, channel) -> None:
         self.channel = channel
+        nucleus = getattr(channel, "client_nucleus", None)
+        if nucleus is not None:
+            # Register for management visibility: the monitor's
+            # relocation section aggregates chase churn across layers.
+            nucleus.relocation_layers.append(self)
 
     def request(self, invocation: Invocation, next_layer) -> Termination:
         repairs = 0

@@ -65,6 +65,27 @@ class ReplyCache:
             self._replies.popitem(last=False)
             self.evictions += 1
 
+    def merge_from(self, other: "ReplyCache") -> int:
+        """Union another node's entries into this cache (state handoff).
+
+        A retransmission that crosses a migration cutover must still
+        find its cached reply, or the new owner re-executes a write the
+        old owner already applied (and whose effect travelled inside the
+        state snapshot).  Invocation ids are globally unique
+        (node/capsule-tagged), so the union cannot collide; existing
+        entries win and the capacity bound still applies.  Returns the
+        number of entries copied.
+        """
+        copied = 0
+        for invocation_id, reply in other._replies.items():
+            if invocation_id not in self._replies:
+                self._replies[invocation_id] = reply
+                copied += 1
+        while len(self._replies) > self.capacity:
+            self._replies.popitem(last=False)
+            self.evictions += 1
+        return copied
+
     def stats(self) -> dict:
         """Counter snapshot for the management monitor."""
         return {

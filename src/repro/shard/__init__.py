@@ -1,0 +1,33 @@
+"""Sharded object space: consistent-hash placement + online rebalancing.
+
+Growth by partitioning (ROADMAP C21): a keyed object is split over
+shard slots, the slots are placed on nodes by a deterministic
+consistent-hash ring, clients route per-key through a channel layer,
+and membership changes migrate exactly the shards that must move —
+online, epoch-fenced, with mid-traffic invocations chased
+transparently.
+"""
+
+from repro.shard.rebalancer import Rebalancer, ShardMove
+from repro.shard.ring import PlacementRing, RingView
+from repro.shard.router import ShardRouterLayer
+from repro.shard.space import (
+    RING_KEY,
+    ShardFenceLayer,
+    ShardManager,
+    ShardSpace,
+    SpaceView,
+)
+
+__all__ = [
+    "PlacementRing",
+    "RingView",
+    "Rebalancer",
+    "RING_KEY",
+    "ShardFenceLayer",
+    "ShardManager",
+    "ShardMove",
+    "ShardRouterLayer",
+    "ShardSpace",
+    "SpaceView",
+]

@@ -1,0 +1,95 @@
+"""The data-plane shard router.
+
+A :class:`ShardRouterLayer` sits between the metrics layer and the
+relocation layer in a client channel.  Per invocation it hashes the
+routing key (the operation's first argument), swaps the channel's
+reference to the owning shard's interface, and stamps the epoch of the
+ring view it routed by into the invocation context (``RING_KEY``).
+
+The router deliberately does *not* watch the space for changes: like
+any cache, its view goes stale and the failure signals drive refresh —
+the relocation-chase discipline.  A move that left a forwarding stub is
+chased transparently by the relocation layer below; a
+:class:`~repro.errors.WrongShardError` (fenced mid-move, or a zombie
+pre-move record with no stub) bubbles up here, where the router
+refreshes its view from the space and re-routes the same invocation.
+Both retries are safe: the stub repair re-sends an invocation whose
+reply is found in the migrated dedup window, and the fence rejects
+before dispatch.
+"""
+
+from __future__ import annotations
+
+from repro.comp.invocation import Invocation
+from repro.comp.outcomes import Termination
+from repro.engine.layers import ClientLayer
+from repro.errors import BindingError, WrongShardError
+from repro.shard.space import RING_KEY
+
+
+class ShardRouterLayer(ClientLayer):
+    """Key -> shard -> owner resolution with chase-on-stale retry."""
+
+    name = "shard"
+
+    def __init__(self, space, max_chases: int = 4) -> None:
+        self.space = space
+        self.max_chases = max_chases
+        self.channel = None
+        #: The cached routing snapshot; refreshed only on failure
+        #: signals, so a router can serve forever off one view while
+        #: ownership is stable.
+        self.view = space.view()
+        self.routed = 0
+        self.chases = 0
+        self.refreshes = 0
+
+    def attach(self, channel) -> None:
+        self.channel = channel
+        self.space.routers.append(self)
+
+    def request(self, invocation: Invocation, next_layer) -> Termination:
+        if not invocation.args:
+            raise BindingError(
+                f"sharded operation {invocation.operation!r} needs its "
+                f"routing key as the first argument")
+        index = self.space.shard_of(str(invocation.args[0]))
+        chases = 0
+        while True:
+            pointed = self._point(invocation, index)
+            try:
+                termination = next_layer(invocation)
+            except WrongShardError:
+                chases += 1
+                if chases > self.max_chases:
+                    raise
+                self.chases += 1
+                self._refresh()
+                continue
+            if self.channel.ref is not pointed:
+                # The relocation layer below chased a forwarding stub
+                # and rebound mid-call: adopt the newer placement so
+                # the next invocation routes straight, not via the stub.
+                self._refresh()
+            return termination
+
+    def _point(self, invocation: Invocation, index: int):
+        """Aim the channel at the shard's owner under the cached view."""
+        ref = self.view.refs.get(index)
+        if ref is None:
+            self._refresh()
+            ref = self.view.refs[index]
+        # Swap the reference directly; the transport identity-checks the
+        # ref on every call, so its path memo can never go stale.  (The
+        # codec plan cache keys by interface id + epoch — no flush
+        # needed per route, unlike a full rebind.)
+        self.channel.ref = ref
+        invocation.interface_id = ref.interface_id
+        invocation.epoch = ref.epoch
+        invocation.context.extra[RING_KEY] = self.view.epoch
+        self.routed += 1
+        return ref
+
+    def _refresh(self) -> None:
+        self.view = self.space.view()
+        self.refreshes += 1
