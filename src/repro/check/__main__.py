@@ -63,6 +63,14 @@ def _parse(argv: Optional[List[str]]) -> argparse.Namespace:
                              "oracle then requires every write to "
                              "execute on the epoch-current owner "
                              "exactly once")
+    parser.add_argument("--leases", action="store_true",
+                        help="promote the replicated kv interface to "
+                             "cached mode (repro.lease): read-heavy "
+                             "cached_get/cached_burst ops run through "
+                             "a lease-caching client with follower "
+                             "reads; the staleness_bound oracle then "
+                             "requires no cached read to be staler "
+                             "than the lease TTL or out of order")
     parser.add_argument("--shrink", action="store_true",
                         help="shrink the first failing plan and print "
                              "a reproduction script")
@@ -86,6 +94,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = config.with_partitions()
     if args.shards:
         config = config.with_shards()
+    if args.leases:
+        config = config.with_leases()
 
     print(f"repro.check: {args.seeds} seeds from {args.base_seed}, "
           f"{config.ops} ops/plan, mutations="
@@ -93,7 +103,8 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"supervisor={'on' if config.supervisor else 'off'}, "
           f"batching={'on' if config.batching else 'off'}, "
           f"partitions={'on' if config.partitions else 'off'}, "
-          f"shards={'on' if config.shards else 'off'}")
+          f"shards={'on' if config.shards else 'off'}, "
+          f"leases={'on' if config.leases else 'off'}")
 
     started = time.monotonic()
     per_oracle = {name: 0 for name in ORACLES}

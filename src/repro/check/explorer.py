@@ -32,6 +32,7 @@ from repro.comp.invocation import QoS
 from repro.comp.outcomes import Signal
 from repro.errors import OdpError
 from repro.groups.member import GroupMemberLayer
+from repro.lease.authority import LeaseAuthority
 from repro.net.fault import FaultSchedule
 from repro.resilience.dedup import ReplyCache
 from repro.runtime import World
@@ -45,6 +46,7 @@ MUTATIONS: Dict[str, Tuple[type, str]] = {
     "replycache": (ReplyCache, "mutate_skip_lookup"),
     "txversions": (VersionStore, "mutate_skip_restore"),
     "quorumbarrier": (GroupMemberLayer, "mutate_skip_quorum_barrier"),
+    "leaseinval": (LeaseAuthority, "mutate_skip_invalidation"),
 }
 
 _DOMAIN = "check"
@@ -94,6 +96,19 @@ class CheckConfig:
     #: ``shard_routing`` oracle.
     shards: bool = False
     shard_count: int = 8
+    #: Promote the replicated kv interface to cached mode (repro.lease):
+    #: the client node gets a caching LeaseClient with read evidence
+    #: recording, the group layer serves follower reads, and plans gain
+    #: read-heavy ``cached_get``/``cached_burst`` ops.  Activates the
+    #: ``staleness_bound`` oracle.  Gated so default plans/digests stay
+    #: byte-identical.
+    leases: bool = False
+    #: Lease TTL — the staleness bound B the oracle enforces.  Long
+    #: enough that a busy reader's half-life renewals outlast the
+    #: typical clock advance between ops (so leases stay continuously
+    #: held and broken invalidation is *observable* as staleness), short
+    #: enough that plans still see grants lapse across the big jumps.
+    lease_ttl_ms: float = 600.0
 
     def with_batching(self) -> "CheckConfig":
         return replace(self, batching=True)
@@ -105,6 +120,12 @@ class CheckConfig:
         changes: Dict[str, Any] = {"shards": True}
         if count is not None:
             changes["shard_count"] = count
+        return replace(self, **changes)
+
+    def with_leases(self, ttl_ms: Optional[float] = None) -> "CheckConfig":
+        changes: Dict[str, Any] = {"leases": True}
+        if ttl_ms is not None:
+            changes["lease_ttl_ms"] = ttl_ms
         return replace(self, **changes)
 
     def with_mutations(self, *names: str) -> "CheckConfig":
@@ -168,6 +189,14 @@ class RunResult:
     #: non-readonly shard invocation — {inv_id, op, shard, node, owner,
     #: epoch} — the ``shard_routing`` oracle's evidence.
     shard_log: List[Dict[str, Any]] = field(default_factory=list)
+    #: The caching client's read evidence (leases mode): every cached or
+    #: fetched read as {t, iid, op, tag, values, via} — what the
+    #: ``staleness_bound`` oracle audits.
+    lease_reads: List[Dict[str, Any]] = field(default_factory=list)
+    #: key -> ordered [(value, t_ack, acked)] group-write ledger with
+    #: client-observed ack times (leases mode).
+    lease_writes: Dict[str, List[Tuple[str, float, bool]]] = \
+        field(default_factory=dict)
     violations: list = field(default_factory=list)
 
 
@@ -251,6 +280,21 @@ class _Run:
         if config.supervisor:
             self.supervisor = self.domain.supervisor
             self.supervisor.start()
+
+        self.lease_client = None
+        self.lease_writes: Dict[str, List[Tuple[str, float, bool]]] = {}
+        if config.leases:
+            authority = self.domain.leases
+            authority.default_ttl_ms = config.lease_ttl_ms
+            authority.register("check.kv", ttl_ms=config.lease_ttl_ms)
+            self.lease_client = authority.attach_client(self.app.nucleus)
+            self.lease_client.record_reads = True
+            # Reads the cache misses are spread over the live replicas
+            # (bounded-staleness follower reads) instead of always
+            # hitting the sequencer.
+            for layer in self.gproxy._channel.layers:
+                if getattr(layer, "name", "") == "replication":
+                    layer.follower_reads = True
 
         self.batcher = None
         if config.batching:
@@ -415,6 +459,13 @@ class _Run:
         outcome, _ = self._attempt(self.gproxy.put, key, value)
         self.group_writes.setdefault(key, []).append(
             (value, outcome == "ok"))
+        if self.config.leases:
+            # The staleness oracle needs *when* the client learned the
+            # write's fate, not just whether: record the ack time (at or
+            # after the commit, so the bound judged from it is
+            # conservative).
+            self.lease_writes.setdefault(key, []).append(
+                (value, round(self.world.now, 6), outcome == "ok"))
         return outcome, None
 
     def _op_group_get(self, op):
@@ -522,6 +573,30 @@ class _Run:
         self.world.faults.lose_next(node, CLIENT_NODE)
         return "ok", node
 
+    def _op_cached_get(self, op):
+        if self.lease_client is None:
+            return "noop", None
+        key = str(op.get("key", "k0"))
+        return self._attempt(self.gproxy.get, key)
+
+    def _op_cached_burst(self, op):
+        """n back-to-back reads of one key: after the first miss fills
+        the cache, the rest are the grant-renewing hit hot path."""
+        if self.lease_client is None:
+            return "noop", None
+        key = str(op.get("key", "k0"))
+        n = max(2, int(op.get("n", 2)))
+        outcomes = []
+        for _ in range(n):
+            outcome, _value = self._attempt(self.gproxy.get, key)
+            outcomes.append(outcome)
+        summary = {}
+        for outcome in outcomes:
+            summary[outcome] = summary.get(outcome, 0) + 1
+        label = ",".join(f"{key_}x{summary[key_]}"
+                         for key_ in sorted(summary))
+        return ("ok" if set(outcomes) == {"ok"} else "mixed"), label
+
     def _op_shard_incr(self, op):
         if self.space is None:
             return "noop", None
@@ -621,6 +696,11 @@ class _Run:
         return sorted(set(unresolved))
 
     def finish(self) -> RunResult:
+        if self.lease_client is not None:
+            # Final observations must come from the servers, not from a
+            # cache whose staleness window is still open — and the
+            # group_consistency oracle compares them against the ledger.
+            self.lease_client.enabled = False
         self.heal()
         unresolved = self.resolve_indoubt()
         final_qos = QoS(deadline_ms=None, retries=10)
@@ -718,6 +798,12 @@ class _Run:
                 "stale_hits": report["stale_hits"],
                 "chases": report["chases"],
             }
+        if self.lease_client is not None:
+            end_state["lease"] = {
+                "authority": self.domain.leases.report(),
+                "client": self.lease_client.stats(),
+                "reads": len(self.lease_client.read_log),
+            }
         if self.supervisor is not None:
             end_state["heal"] = self.supervisor.report()
         if self.config.partitions:
@@ -752,6 +838,9 @@ class _Run:
             shard_final=shard_final,
             shard_log=(list(self.space.execution_log)
                        if self.space is not None else []),
+            lease_reads=(list(self.lease_client.read_log)
+                         if self.lease_client is not None else []),
+            lease_writes=self.lease_writes,
         )
 
 

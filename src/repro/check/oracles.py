@@ -354,6 +354,79 @@ def shard_routing(result) -> List[Violation]:
     return violations
 
 
+def staleness_bound(result) -> List[Violation]:
+    """Cached reads are never staler than the lease TTL, nor reordered.
+
+    Judged against the caching client's read log and the timestamped
+    group-write ledger recorded in leases mode.  Every read (cache hit
+    *or* fetch — the contract covers the interface, not one code path)
+    must return a value that is a real write (or the empty default),
+    and three clauses must hold:
+
+    * *Bounded staleness*: if the returned value was superseded, the
+      earliest acknowledged write that superseded it was acked at most
+      ``lease_ttl_ms`` before the read.  Ack time is client-observed —
+      at or after the commit — so the bound judged here is
+      conservative: a violation means the cache really served a value
+      beyond its grant's validity (invalidations lost *and* never
+      repaired by renewal), never a timing artefact.
+    * *Monotonic reads per key*: a later read never returns an earlier
+      ledger position than a previous read of the same key did — the
+      cache cannot travel back in time.
+    * *No phantoms*: a non-empty returned value must appear in the
+      ledger at all.
+    """
+    if not getattr(result.config, "leases", False):
+        return []
+    bound = result.config.lease_ttl_ms + 1e-6
+    violations = []
+    last_position: Dict[str, int] = {}
+    for read in result.lease_reads:
+        tag = read["tag"]
+        ledger = result.lease_writes.get(tag, [])
+        value = read["values"][0] if read["values"] else ""
+        if value == "":
+            # The key's default: legal before any write lands, and
+            # carries no ledger position to order against.
+            position = -1
+        else:
+            positions = [i for i, (v, _, _) in enumerate(ledger)
+                         if v == value]
+            if not positions:
+                violations.append(Violation(
+                    "staleness_bound",
+                    f"key {tag!r}: read at t={read['t']} (via "
+                    f"{read['via']}) returned {value!r}, which no "
+                    f"recorded write produced"))
+                continue
+            # An identical value may be written twice; crediting the
+            # read to the latest occurrence is the reader-friendly
+            # interpretation for both clauses below.
+            position = max(positions)
+            previous = last_position.get(tag)
+            if previous is not None and position < previous:
+                violations.append(Violation(
+                    "staleness_bound",
+                    f"key {tag!r}: read at t={read['t']} (via "
+                    f"{read['via']}) returned ledger position "
+                    f"{position} after an earlier read saw position "
+                    f"{previous} — reads ran backwards"))
+        last_position[tag] = max(last_position.get(tag, -1), position)
+        for value2, t_ack, acked in ledger[position + 1:]:
+            if not acked:
+                continue  # an unacked write may never have committed
+            if read["t"] - t_ack > bound:
+                violations.append(Violation(
+                    "staleness_bound",
+                    f"key {tag!r}: read at t={read['t']} (via "
+                    f"{read['via']}) returned {value!r}, superseded by "
+                    f"{value2!r} acked at t={t_ack} — "
+                    f"{round(read['t'] - t_ack, 3)}ms stale, bound is "
+                    f"{result.config.lease_ttl_ms}ms"))
+            break  # only the earliest superseding ack sets the clock
+    return violations
+
+
 #: The oracle catalogue, in reporting order.
 ORACLES: Dict[str, Callable] = {
     "exactly_once": exactly_once,
@@ -361,6 +434,7 @@ ORACLES: Dict[str, Callable] = {
     "group_consistency": group_consistency,
     "split_brain": split_brain,
     "shard_routing": shard_routing,
+    "staleness_bound": staleness_bound,
     "relocation": relocation,
     "gc_safety": gc_safety,
     "clock_monotonic": clock_monotonic,

@@ -48,6 +48,8 @@ OP_KINDS = (
     "shard_incr",       # keyed increment routed through the shard space
     "shard_get",        # keyed read through the shard space
     "shard_move",       # ring membership toggle: drain or re-admit a node
+    "cached_get",       # replicated kv read through the lease cache
+    "cached_burst",     # n reads of one key — the cache-hit hot path
 )
 
 
@@ -148,6 +150,13 @@ _OP_WEIGHTS_SHARDS = (
     ("shard_get", 6),
     ("shard_move", 5),
 )
+#: Lease-mode rows, appended after every earlier mode's rows (same
+#: strict-append discipline): a read-heavy mix through the caching
+#: client so grants renew often enough to keep staleness observable.
+_OP_WEIGHTS_LEASES = (
+    ("cached_get", 48),
+    ("cached_burst", 16),
+)
 
 _KEYS = ("k0", "k1", "k2", "k3", "k4", "k5")
 #: Shard-mode keyspace: wide enough to spread over many shards, small
@@ -162,6 +171,8 @@ def _weights_for(config):
                if getattr(config, "batching", False) else _OP_WEIGHTS)
     if getattr(config, "shards", False):
         weights = weights + _OP_WEIGHTS_SHARDS
+    if getattr(config, "leases", False):
+        weights = weights + _OP_WEIGHTS_LEASES
     return weights
 
 
@@ -180,6 +191,10 @@ def _generate_op(rng: DeterministicRandom, config, index: int) -> Op:
         return Op(kind, key=rng.choice(_SHARD_KEYS))
     if kind == "shard_move":
         return Op(kind, node=rng.choice(SERVER_NODES))
+    if kind == "cached_get":
+        return Op(kind, key=rng.choice(_KEYS))
+    if kind == "cached_burst":
+        return Op(kind, key=rng.choice(_KEYS), n=rng.randint(3, 8))
     if kind == "batch_burst":
         return Op(kind, counter=rng.randint(0, config.counters - 1),
                   n=rng.randint(2, 10))

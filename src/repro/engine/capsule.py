@@ -226,6 +226,19 @@ class Capsule:
         if method is None:
             raise ServerFaultError(
                 f"implementation lacks method {invocation.operation!r}")
+        if not signature.operations[invocation.operation].readonly:
+            # Lease invalidation (repro.lease): any mutating dispatch
+            # against a cached-mode interface invalidates the holders.
+            # Noted *before* the call — a write that signals or faults
+            # may still have mutated state, and over-invalidation only
+            # costs a refetch.  Group writes are noted by the member
+            # layer at quorum commit instead (under the group id).
+            domain = self.nucleus.domain
+            if domain is not None and domain._leases is not None:
+                domain._leases.note_write(
+                    invocation.interface_id,
+                    str(invocation.args[0]) if invocation.args else "",
+                    source=self.nucleus.node_address)
         try:
             result = method(*invocation.args)
         except Signal as signal:

@@ -62,6 +62,12 @@ class Channel:
                 layer.attach(self)
         self._chain = compose_client(self.layers, transport.send)
         self.invocations = 0
+        # Channels whose layer stack routes each call to a per-key ref
+        # (the shard router) cannot be cached at channel level — the
+        # bound ref is not the ref the call will hit.  Such layers
+        # consult the lease cache themselves, after resolving the key.
+        self._routed_by_key = any(
+            getattr(layer, "routes_by_key", False) for layer in self.layers)
 
     def rebind(self, new_ref: InterfaceRef) -> None:
         """Point the channel at a new reference (location transparency).
@@ -82,6 +88,16 @@ class Channel:
                context: Optional[InvocationContext] = None
                ) -> Optional[Termination]:
         self.invocations += 1
+        # Lease-cache short-circuit (repro.lease): a registered
+        # read-only interrogation under a valid grant never leaves the
+        # node — served here, before path selection and the network.
+        lease = self.client_nucleus.lease_client
+        cacheable = (lease is not None and not self._routed_by_key
+                     and kind == InvocationKind.INTERROGATION)
+        if cacheable:
+            cached = lease.lookup(self.ref, operation, args)
+            if cached is not None:
+                return cached
         context = context if context is not None else InvocationContext()
 
         # Trace allocation at the client stub (section 7.4): join the
@@ -118,6 +134,8 @@ class Channel:
             span.tag("error", type(exc).__name__).finish(status="error")
             raise
         span.finish()
+        if cacheable and termination is not None:
+            lease.store(self.ref, operation, args, termination)
         return termination
 
 

@@ -70,6 +70,11 @@ class Nucleus:
         #: RelocationLayers attached by this node's channels — the
         #: monitor aggregates their chase/repair churn counters.
         self.relocation_layers = []
+        #: The node's caching LeaseClient (repro.lease), or None when
+        #: this node does no client-side caching.  Attached by
+        #: ``LeaseAuthority.attach_client``; every channel the node's
+        #: capsules open consults it on the read path.
+        self.lease_client = None
         self._tracer = None
         node.on_request(self._handle_request)
         node.on_deliver("invoke", self._handle_announcement)

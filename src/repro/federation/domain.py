@@ -45,6 +45,7 @@ class Domain:
         self._tracer = None
         self._supervisor = None
         self._shards = None
+        self._leases = None
 
     # -- structure -------------------------------------------------------------
 
@@ -228,6 +229,14 @@ class Domain:
             from repro.shard.space import ShardManager
             self._shards = ShardManager(self)
         return self._shards
+
+    @property
+    def leases(self):
+        """The lease authority for client-side caching (``repro.lease``)."""
+        if self._leases is None:
+            from repro.lease.authority import LeaseAuthority
+            self._leases = LeaseAuthority(self)
+        return self._leases
 
     # -- hooks used by the engine ---------------------------------------------------
 

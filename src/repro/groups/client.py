@@ -37,6 +37,13 @@ class GroupInvokeLayer(ClientLayer):
         self.nucleus = nucleus
         self.capsule = capsule
         self.max_view_changes = max_view_changes
+        #: Follower reads (repro.lease): serve read-only invocations
+        #: from any live replica even when the group policy routes them
+        #: to the sequencer.  A follower may trail the sequencer by
+        #: in-flight relays, so this is a *bounded-staleness* read — the
+        #: same contract the lease cache gives, and it is switched on
+        #: for the same read-mostly interfaces.
+        self.follower_reads = False
         self.invocations = 0
         self.failovers = 0
         self.fenced_retries = 0
@@ -50,7 +57,7 @@ class GroupInvokeLayer(ClientLayer):
         group = self.registry.group(self.group_id)
 
         if self._readonly(group, invocation) and \
-                group.spec.policy == "read_spread":
+                (group.spec.policy == "read_spread" or self.follower_reads):
             return self._read_anywhere(group, invocation)
 
         attempts = self.max_view_changes + 1

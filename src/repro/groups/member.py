@@ -264,6 +264,7 @@ class GroupMemberLayer(ServerLayer):
                 f"replicas acknowledged; write seq {seq} rolled back")
         self.commit_log.append(
             (seq, group.view.number, acks, self._write_digest(invocation)))
+        self._note_lease_write(invocation)
         for member, _ in suspects:
             # The write committed without this member's ack: whatever
             # the failure was, the member verifiably misses committed
@@ -281,6 +282,24 @@ class GroupMemberLayer(ServerLayer):
                 f"replicas acknowledged")
         self.relayed_ops += 1
         return termination
+
+    def _note_lease_write(self, invocation: Invocation) -> None:
+        """Invalidation piggyback (repro.lease): a quorum-committed
+        write invalidates client caches of the *group* interface.
+
+        Group clients cache under the group ref's interface id (the
+        group id); member interface ids are never registered with the
+        authority, so the generic per-dispatch hook in the capsule is a
+        no-op for replicas and this commit-time note is the only
+        fan-out a group write triggers.
+        """
+        domain = self.registry.domain
+        if domain._leases is None:
+            return
+        tag = str(invocation.args[0]) if invocation.args else ""
+        domain._leases.note_write(
+            self.group_id, tag,
+            source=self.capsule.nucleus.node_address)
 
     def _rollback(self, invocation: Invocation, seq: int, prev: int,
                   snapshot, implementation, acked, suspects) -> None:

@@ -193,6 +193,7 @@ class Supervisor:
             if self.recover_singletons:
                 self._recover_singletons()
             self._rebalance_shards()
+            self._revoke_dead_leases()
 
     def _watch(self, node: str, capsule: str) -> None:
         for monitor, _ in self._vantages:
@@ -479,6 +480,27 @@ class Supervisor:
                 self._span("heal.shard-rejoin",
                            {"space": space.name, "node": node,
                             "moves": len(moves)})
+
+    def _revoke_dead_leases(self) -> None:
+        """Revoke every lease grant of a holder the panel declares dead.
+
+        The holder cannot be told (it is dead or cut off by assumption)
+        — its own cache self-fences at grant expiry on the shared
+        virtual clock.  Revoking here stops the authority fanning
+        writes out to a corpse, and the flush-all pending marker the
+        authority leaves makes a *revived* holder drop its pre-crash
+        cache at first contact instead of resuming from it.
+        """
+        if self.domain._leases is None:
+            return
+        authority = self.domain._leases
+        for holder in authority.holders():
+            if not self.node_dead(holder):
+                continue
+            revoked = authority.revoke_holder(holder)
+            if revoked:
+                self._span("heal.lease-revoke",
+                           {"holder": holder, "leases": revoked})
 
     # -- availability accounting ---------------------------------------------
 

@@ -1,0 +1,113 @@
+"""Promotion policy: trace-driven selection of cacheable interfaces.
+
+Caching is an optimisation with a cost (grants, fan-out on every
+write), so which interfaces run in cached mode is a *policy* decision,
+and like every other adaptive decision in this repro it is driven by
+observed traffic, not configuration guesswork.  The policy scans the
+domain tracer's ``invoke`` spans — the client-side record of every
+invocation, already carrying the interface id and operation name —
+classifies each operation as read or write from the interface
+signature, and promotes interfaces whose observed mix is read-heavy
+enough to pay for itself.  Interfaces that drift write-heavy are
+demoted (which revokes and flushes every outstanding grant via the
+authority).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.types.signature import InterfaceSignature
+
+
+class PromotionPolicy:
+    """Promote/demote interfaces to cached mode by observed skew."""
+
+    def __init__(self, domain, min_invocations: int = 20,
+                 promote_ratio: float = 0.85,
+                 demote_ratio: float = 0.5) -> None:
+        self.domain = domain
+        #: Fewer observations than this and the mix is noise: no action.
+        self.min_invocations = min_invocations
+        #: Promote at or above this read fraction ...
+        self.promote_ratio = promote_ratio
+        #: ... demote a covered interface that falls below this one.
+        #: The gap between the two is hysteresis.
+        self.demote_ratio = demote_ratio
+        self.promotions = 0
+        self.demotions = 0
+
+    # -- observation ---------------------------------------------------------
+
+    def _candidate_signatures(self) -> Dict[str, InterfaceSignature]:
+        """Every interface id the policy can reason about, with its
+        signature (needed to classify operations)."""
+        signatures: Dict[str, InterfaceSignature] = {}
+        for address in sorted(self.domain.nuclei):
+            nucleus = self.domain.nuclei[address]
+            for name in sorted(nucleus.capsules):
+                capsule = nucleus.capsules[name]
+                for interface in capsule.interfaces.values():
+                    signatures[interface.interface_id] = interface.signature
+        if self.domain._groups is not None:
+            registry = self.domain._groups
+            for group_id in registry.group_ids():
+                # The group ref's interface id is the group id itself.
+                signatures[group_id] = registry.group(group_id).signature
+        return signatures
+
+    def observed_mix(self) -> Dict[str, Tuple[int, int]]:
+        """interface_id -> (reads, writes) seen by the tracer."""
+        signatures = self._candidate_signatures()
+        mix: Dict[str, Tuple[int, int]] = {}
+        for span in self.domain.tracer.spans():
+            if span.layer != "invoke":
+                continue
+            interface_id = span.tags.get("interface")
+            signature = signatures.get(interface_id)
+            if signature is None or ":" not in span.name:
+                continue
+            operation = span.name.split(":", 1)[1]
+            spec = signature.operations.get(operation)
+            if spec is None:
+                continue
+            reads, writes = mix.get(interface_id, (0, 0))
+            if spec.readonly:
+                reads += 1
+            else:
+                writes += 1
+            mix[interface_id] = (reads, writes)
+        return mix
+
+    # -- decisions -----------------------------------------------------------
+
+    def evaluate(self) -> List[Tuple[str, str, float]]:
+        """Apply the policy once; returns (action, interface_id, ratio)
+        tuples for every promotion/demotion taken."""
+        authority = self.domain.leases
+        actions: List[Tuple[str, str, float]] = []
+        for interface_id, (reads, writes) in sorted(
+                self.observed_mix().items()):
+            total = reads + writes
+            if total < self.min_invocations:
+                continue
+            ratio = reads / total
+            covered = authority.covers(interface_id)
+            if not covered and ratio >= self.promote_ratio:
+                authority.register(interface_id)
+                self.promotions += 1
+                actions.append(("promote", interface_id, round(ratio, 4)))
+            elif covered and ratio < self.demote_ratio:
+                authority.unregister(interface_id)
+                self.demotions += 1
+                actions.append(("demote", interface_id, round(ratio, 4)))
+        return actions
+
+    def report(self) -> Dict:
+        return {
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "min_invocations": self.min_invocations,
+            "promote_ratio": self.promote_ratio,
+            "demote_ratio": self.demote_ratio,
+        }

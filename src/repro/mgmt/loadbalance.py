@@ -56,11 +56,15 @@ def placement_candidates(domain, capsule_name: str, liveness=None,
     omitted it defaults to :func:`observed_liveness`, so placement
     never targets a node the domain's own health judgment calls dead or
     suspect.  Candidates are ordered least-loaded first (total
-    invocations served across the capsule's interfaces), ties broken by
-    address for determinism.
+    invocations served across the capsule's interfaces, plus the
+    outstanding lease grants against them — every write a node hosts
+    fans invalidations out to its interfaces' cache holders, so lease
+    demand is load the invocation counters alone understate), ties
+    broken by address for determinism.
     """
     if liveness is None:
         liveness = observed_liveness(domain)
+    leases = getattr(domain, "_leases", None)
     candidates = []
     for address in sorted(domain.nuclei):
         if address in exclude:
@@ -73,6 +77,8 @@ def placement_candidates(domain, capsule_name: str, liveness=None,
             continue
         load = sum(interface.invocations_served
                    for interface in capsule.interfaces.values())
+        if leases is not None:
+            load += leases.node_lease_load(capsule)
         candidates.append((load, address, nucleus, capsule))
     candidates.sort(key=lambda entry: (entry[0], entry[1]))
     return [(nucleus, capsule) for _, _, nucleus, capsule in candidates]

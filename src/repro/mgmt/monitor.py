@@ -143,6 +143,21 @@ class TransparencyMonitor:
             report["partitions"] = partitions
         if domain._shards is not None:
             report["shard"] = domain.shards.report()
+        if domain._leases is not None:
+            lease = dict(domain.leases.report())
+            clients = {"clients": 0, "hits": 0, "misses": 0, "fills": 0,
+                       "skipped_fills": 0, "expired": 0,
+                       "invalidations": 0, "flushes": 0,
+                       "acquire_failures": 0, "entries": 0}
+            for holder in sorted(domain.leases.clients):
+                stats = domain.leases.clients[holder].stats()
+                clients["clients"] += 1
+                for key in ("hits", "misses", "fills", "skipped_fills",
+                            "expired", "invalidations", "flushes",
+                            "acquire_failures", "entries"):
+                    clients[key] += stats[key]
+            lease["cache"] = clients
+            report["lease"] = lease
         if domain._supervisor is not None:
             report["heal"] = domain.supervisor.report()
         report["resilience"] = self.resilience_report()

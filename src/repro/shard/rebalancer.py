@@ -109,6 +109,7 @@ class Rebalancer:
         started = down_since if down_since is not None else clock.now
         space.fence(index)
         try:
+            self._drain_leases(index)
             if source in dead:
                 new_ref = space.domain.recovery.recover(
                     space.shard_id(index), space.capsules[target])
@@ -131,6 +132,26 @@ class Rebalancer:
                                   "kind": kind,
                                   "window_ms": round(window, 3)})
         return ShardMove(index, source, target, kind, window)
+
+    def _drain_leases(self, index: int) -> None:
+        """Revoke client cache leases on a shard before its cutover.
+
+        A shard in cached mode may have readers serving it from private
+        caches; moving the state while those grants stand would let a
+        holder whose flush message is lost keep reading the *old* copy
+        after ownership changed.  Drain first: revoke every grant
+        (posting flushes), then wait one grace window — the longest
+        remaining grant validity — behind the fence, so by cutover any
+        holder the flush never reached has self-fenced at expiry.
+        """
+        space = self.space
+        domain = space.domain
+        if domain._leases is None:
+            return
+        remaining = domain._leases.drain_interface(space.shard_id(index))
+        if remaining > 0:
+            domain.scheduler.run_until(
+                domain.scheduler.clock.now + remaining)
 
     def _move_dedup_window(self, source: str, target: str) -> None:
         """Carry the source's reply-cache entries across the cutover.

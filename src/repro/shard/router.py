@@ -20,7 +20,7 @@ before dispatch.
 
 from __future__ import annotations
 
-from repro.comp.invocation import Invocation
+from repro.comp.invocation import Invocation, InvocationKind
 from repro.comp.outcomes import Termination
 from repro.engine.layers import ClientLayer
 from repro.errors import BindingError, WrongShardError
@@ -31,6 +31,14 @@ class ShardRouterLayer(ClientLayer):
     """Key -> shard -> owner resolution with chase-on-stale retry."""
 
     name = "shard"
+
+    #: The channel-level lease cache must not key entries by the bound
+    #: ref — this layer swaps it per key.  The channel skips caching on
+    #: routed channels and the router consults the cache itself below,
+    #: against the *resolved* shard ref (shard interface ids are stable
+    #: across moves, so entries stay addressable — and drain-on-move
+    #: flushes them before ownership actually changes).
+    routes_by_key = True
 
     def __init__(self, space, max_chases: int = 4) -> None:
         self.space = space
@@ -54,6 +62,15 @@ class ShardRouterLayer(ClientLayer):
                 f"sharded operation {invocation.operation!r} needs its "
                 f"routing key as the first argument")
         index = self.space.shard_of(str(invocation.args[0]))
+        lease = self.channel.client_nucleus.lease_client
+        if lease is not None and \
+                invocation.kind == InvocationKind.INTERROGATION:
+            ref = self.view.refs.get(index)
+            if ref is not None:
+                cached = lease.lookup(ref, invocation.operation,
+                                      invocation.args)
+                if cached is not None:
+                    return cached
         chases = 0
         while True:
             pointed = self._point(invocation, index)
@@ -71,6 +88,10 @@ class ShardRouterLayer(ClientLayer):
                 # and rebound mid-call: adopt the newer placement so
                 # the next invocation routes straight, not via the stub.
                 self._refresh()
+            if lease is not None and termination is not None and \
+                    invocation.kind == InvocationKind.INTERROGATION:
+                lease.store(self.channel.ref, invocation.operation,
+                            invocation.args, termination)
             return termination
 
     def _point(self, invocation: Invocation, index: int):

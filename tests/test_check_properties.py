@@ -188,5 +188,5 @@ class TestCli:
     def test_oracle_catalogue_is_complete(self):
         assert list(ORACLES) == [
             "exactly_once", "tx_atomicity", "group_consistency",
-            "split_brain", "shard_routing", "relocation", "gc_safety",
-            "clock_monotonic", "self_heal"]
+            "split_brain", "shard_routing", "staleness_bound",
+            "relocation", "gc_safety", "clock_monotonic", "self_heal"]

@@ -209,3 +209,63 @@ def test_partitions_mode_plan_is_deterministic():
     assert first.digest == second.digest
     assert "partitions" in first.end_state
     assert all("commits" in m for m in first.member_states)
+
+
+# ---------------------------------------------------------------------------
+# Pinned lost-invalidation scenario (staleness-bound oracle)
+# ---------------------------------------------------------------------------
+#
+# Hand-shrunk from the --leases --mutate leaseinval sweep (ddmin took
+# seed 1 from 60 ops to 18; this is the same failure tightened by
+# hand).  The cache fills k3 before any write, a group put supersedes
+# it, and — with invalidation fan-out *and* the authority's pending
+# bookkeeping skipped — every half-life renewal succeeds yet delivers
+# nothing, so the client keeps serving the superseded value on an
+# unbroken lease.  The advances are each under the 300ms half-life, so
+# the grant never lapses (a lapse would flush and hide the bug); past
+# 600ms of accumulated staleness the bound clause must trip.
+
+LEASEINVAL_MINIMAL = Plan(seed=1, ops=[
+    Op("cached_get", key="k3"),
+    Op("group_put", key="k3", value="v1"),
+    Op("advance", ms=280.0), Op("cached_get", key="k3"),
+    Op("advance", ms=280.0), Op("cached_get", key="k3"),
+    Op("advance", ms=280.0), Op("cached_get", key="k3"),
+], windows=[])
+
+
+def test_leaseinval_minimal_plan_still_detected():
+    config = CheckConfig().with_leases().with_mutations("leaseinval")
+    result = run_plan(LEASEINVAL_MINIMAL, config)
+    violations = run_all(result)
+    assert {v.oracle for v in violations} == {"staleness_bound"}
+    # The evidence: stale cache hits well past the bound, while the
+    # authority bumped versions but posted no invalidations.
+    lease = result.end_state["lease"]
+    assert lease["authority"]["invalidations_posted"] == 0
+    assert lease["authority"]["invalidations_skipped"] > 0
+    assert lease["client"]["hits"] > 0
+
+
+def test_leaseinval_minimal_plan_clean_without_mutation():
+    config = CheckConfig().with_leases()
+    result = run_plan(LEASEINVAL_MINIMAL, config)
+    assert run_all(result) == []
+    # Non-vacuous: the same reads happened, but the put's invalidation
+    # fan-out (or a renewal's pending delivery) dropped the stale entry.
+    lease = result.end_state["lease"]
+    assert lease["authority"]["invalidations_noted"] > 0
+    assert lease["reads"] > 0
+
+
+def test_leases_mode_plan_is_deterministic():
+    from repro.check.explorer import run_seed
+
+    config = CheckConfig().with_leases()
+    first = run_seed(3, config)
+    second = run_seed(3, config)
+    assert run_all(first) == []
+    assert first.digest == second.digest
+    lease = first.end_state["lease"]
+    assert lease["client"]["hits"] > 0  # the cache actually served
+    assert first.lease_reads, "read evidence must be recorded"

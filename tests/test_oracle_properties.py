@@ -107,3 +107,84 @@ def test_scheduler_executes_in_stable_time_order(times):
                                      for i, t in enumerate(times))]
     assert executed == expected
     assert scheduler.now == max(times)
+
+
+# ---------------------------------------------------------------------------
+# The staleness_bound oracle: sound on the real platform, sharp on the
+# broken one, and invisible to every other mode's plans
+# ---------------------------------------------------------------------------
+#
+# These are empirical soundness/sharpness sweeps rather than hypothesis
+# properties: the generator is the check explorer itself, which is
+# already a pure function of (seed, config).
+
+def test_staleness_bound_never_fires_on_clean_seeds():
+    from repro.check.explorer import CheckConfig, run_seed
+
+    config = CheckConfig().with_leases()
+    for seed in range(25):
+        result = run_seed(seed, config)
+        assert result.violations == [], f"seed {seed}: false positive"
+
+
+def test_staleness_bound_fires_under_skipped_invalidation():
+    from repro.check.explorer import CheckConfig, run_seed
+    from repro.lease.authority import LeaseAuthority
+
+    config = CheckConfig().with_leases().with_mutations("leaseinval")
+    tripped = 0
+    for seed in range(25):
+        result = run_seed(seed, config)
+        fired = {v.oracle for v in result.violations}
+        assert fired <= {"staleness_bound"}, \
+            f"seed {seed}: unexpected oracles {fired}"
+        if fired:
+            tripped += 1
+    # Tuned sharpness floor: the sweep currently trips 12/25; anything
+    # under 8 means the read mix or TTL regressed into blindness.
+    assert tripped >= 8
+    assert LeaseAuthority.mutate_skip_invalidation is False  # restored
+
+
+def test_default_mode_digests_unchanged_by_lease_rows():
+    """The lease op rows are strictly appended behind the config gate:
+    default-mode plans and digests must stay byte-identical to the
+    pre-lease baselines pinned here."""
+    from repro.check.explorer import CheckConfig, run_seed
+    from repro.check.plan import generate_plan
+
+    pinned = {
+        0: "8ae9651b8dbb4ce40660944a4bd914c6ce3ec99c"
+           "1d5968abefbeb3e8edf7fd1c",
+        1: "6faf5330fa46f4cab708529b74f3fabd7c9a68b3"
+           "793721bee78d0689833c777a",
+        2: "865e4d650b55fb154e6b962df90ed5154ae4dd71"
+           "9bc64e01b405fe83cf59641c",
+    }
+    config = CheckConfig()
+    for seed, digest in pinned.items():
+        assert run_seed(seed, config).digest == digest
+        plan = generate_plan(seed, config)
+        assert not any(op.kind in ("cached_get", "cached_burst")
+                       for op in plan.ops)
+
+
+def test_op_weight_tables_append_strictly_in_mode_order():
+    from repro.check.explorer import CheckConfig
+    from repro.check.plan import (
+        _OP_WEIGHTS,
+        _OP_WEIGHTS_LEASES,
+        _weights_for,
+    )
+
+    default = _weights_for(CheckConfig())
+    assert default == _OP_WEIGHTS
+    for base in (CheckConfig(), CheckConfig().with_batching(),
+                 CheckConfig().with_shards(),
+                 CheckConfig().with_batching().with_shards()):
+        without = _weights_for(base)
+        with_leases = _weights_for(base.with_leases())
+        # Lease rows are appended after every earlier mode's rows, so
+        # every other mode's prefix (hence its plans) is untouched.
+        assert with_leases[:len(without)] == without
+        assert with_leases[len(without):] == _OP_WEIGHTS_LEASES
