@@ -71,6 +71,18 @@ def _parse(argv: Optional[List[str]]) -> argparse.Namespace:
                              "reads; the staleness_bound oracle then "
                              "requires no cached read to be staler "
                              "than the lease TTL or out of order")
+    parser.add_argument("--overload", action="store_true",
+                        help="run the overload-robustness stack "
+                             "(repro.overload): the client propagates "
+                             "deadlines and priorities end to end and "
+                             "enforces retry budgets, servers shed "
+                             "class-aware with brownout, and plans "
+                             "gain prioritized tight-deadline ops plus "
+                             "compute-stall windows; the "
+                             "overload_safety oracle then requires "
+                             "that expired work never executes, retry "
+                             "volume stays within budget, and shedding "
+                             "never inverts priority")
     parser.add_argument("--shrink", action="store_true",
                         help="shrink the first failing plan and print "
                              "a reproduction script")
@@ -96,6 +108,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = config.with_shards()
     if args.leases:
         config = config.with_leases()
+    if args.overload:
+        config = config.with_overload()
 
     print(f"repro.check: {args.seeds} seeds from {args.base_seed}, "
           f"{config.ops} ops/plan, mutations="
@@ -104,7 +118,8 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"batching={'on' if config.batching else 'off'}, "
           f"partitions={'on' if config.partitions else 'off'}, "
           f"shards={'on' if config.shards else 'off'}, "
-          f"leases={'on' if config.leases else 'off'}")
+          f"leases={'on' if config.leases else 'off'}, "
+          f"overload={'on' if config.overload else 'off'}")
 
     started = time.monotonic()
     per_oracle = {name: 0 for name in ORACLES}

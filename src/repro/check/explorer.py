@@ -34,6 +34,7 @@ from repro.errors import OdpError
 from repro.groups.member import GroupMemberLayer
 from repro.lease.authority import LeaseAuthority
 from repro.net.fault import FaultSchedule
+from repro.overload.deadline import DeadlineGate
 from repro.resilience.dedup import ReplyCache
 from repro.runtime import World
 from repro.tx.transaction import TxState
@@ -47,6 +48,7 @@ MUTATIONS: Dict[str, Tuple[type, str]] = {
     "txversions": (VersionStore, "mutate_skip_restore"),
     "quorumbarrier": (GroupMemberLayer, "mutate_skip_quorum_barrier"),
     "leaseinval": (LeaseAuthority, "mutate_skip_invalidation"),
+    "deadline": (DeadlineGate, "mutate_skip_deadline_check"),
 }
 
 _DOMAIN = "check"
@@ -109,6 +111,19 @@ class CheckConfig:
     #: held and broken invalidation is *observable* as staleness), short
     #: enough that plans still see grants lapse across the big jumps.
     lease_ttl_ms: float = 600.0
+    #: Overload-robustness mode (repro.overload): the client nucleus
+    #: stamps propagated deadlines and priorities onto the wire, every
+    #: server gets a class-aware admission controller with a brownout
+    #: controller, retry budgets enforce, and plans gain ``prio_invoke``
+    #: ops with tight deadline tiers plus compute-stall chaos windows.
+    #: Activates the ``overload_safety`` oracle.  Gated so default
+    #: plans and digests stay byte-identical.
+    overload: bool = False
+    #: Deadline tiers (ms) for generated ``prio_invoke`` ops: the tight
+    #: tiers expire for real under stall/gray windows and admission
+    #: queue waits, the loose one mostly survives — so both the shed
+    #: path and the happy path run.
+    overload_tiers: Tuple[float, float, float] = (2.5, 30.0, 400.0)
 
     def with_batching(self) -> "CheckConfig":
         return replace(self, batching=True)
@@ -127,6 +142,9 @@ class CheckConfig:
         if ttl_ms is not None:
             changes["lease_ttl_ms"] = ttl_ms
         return replace(self, **changes)
+
+    def with_overload(self) -> "CheckConfig":
+        return replace(self, overload=True)
 
     def with_mutations(self, *names: str) -> "CheckConfig":
         for name in names:
@@ -197,6 +215,21 @@ class RunResult:
     #: client-observed ack times (leases mode).
     lease_writes: Dict[str, List[Tuple[str, float, bool]]] = \
         field(default_factory=dict)
+    #: The deadline gates' execution logs (overload mode): every
+    #: dispatched execution with the deadline it carried and the node
+    #: it ran on — the ``overload_safety`` oracle's no-execution-past-
+    #: deadline evidence.
+    overload_executions: List[Dict[str, Any]] = field(default_factory=list)
+    #: node -> ordered [(t, priority, verdict)] admission event log
+    #: (overload mode) — the no-priority-inversion evidence.
+    overload_admission: Dict[str, List[Tuple[float, int, str]]] = \
+        field(default_factory=dict)
+    #: "node:protocol" -> retry-budget stats from the client registry,
+    #: snapshotted before the out-of-band final reads — the
+    #: retry-volume-within-budget evidence.
+    overload_budgets: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: (ratio, cap) the client's budgets ran under.
+    overload_budget_params: Tuple[float, float] = (0.1, 10.0)
     violations: list = field(default_factory=list)
 
 
@@ -313,6 +346,37 @@ class _Run:
                 self.app, BatchPolicy(max_batch=8, linger_ms=0.5),
                 qos=self.qos)
 
+        self.overload_controllers: Dict[str, Any] = {}
+        if config.overload:
+            from repro.overload import BrownoutController, \
+                ClassAdmissionController
+            # The whole overload stack, end to end: the client stamps
+            # deadlines/priorities and enforces retry budgets; every
+            # server gets class-aware admission with brownout (sized so
+            # stall windows really shed) and records the evidence the
+            # overload_safety oracle judges.
+            client = self.app.nucleus
+            client.deadline_propagation = True
+            client.retry_budgets.enabled = True
+            # Sized against the plan shape: the refill (~0.6 tokens per
+            # op-budget slot) runs *below* a node's typical demand, so
+            # deficits really form — queue waits long enough to kill
+            # the tight deadline tiers post-queue, class-0/1 sheds when
+            # the deficit crosses their bounds, and brownout steps when
+            # the waits of admitted work blow the target.
+            for node in SERVER_NODES:
+                nucleus = self.srv[node].nucleus
+                controller = ClassAdmissionController(
+                    self.world.clock, rate_per_s=24.0, burst=3,
+                    max_queue=8,
+                    brownout=BrownoutController(self.world.clock,
+                                                target_p99_ms=20.0,
+                                                window=16))
+                controller.record_events = True
+                nucleus.admission = controller
+                nucleus.deadline_gate.record_executions = True
+                self.overload_controllers[node] = controller
+
         self.schedule = FaultSchedule(*plan.windows)
         if plan.windows:
             self.world.apply_chaos(self.schedule)
@@ -362,6 +426,42 @@ class _Run:
         self._count_increment(name, outcome)
         return outcome, value
 
+    def _op_prio_invoke(self, op):
+        """``n`` back-to-back increments carrying an explicit priority
+        class and a tight propagated-deadline tier (overload mode;
+        under the default config they degrade to plain increments so
+        pinned overload plans still run everywhere).  The burst is the
+        point: back-to-back arrivals outrun the admission refill, so
+        the op itself builds the deficit that sheds its low classes
+        and kills its tight deadlines in the queue."""
+        name = self._counter_name(op)
+        n = max(1, int(op.get("n", 1)))
+        if not self.config.overload:
+            outcomes = []
+            for _ in range(n):
+                outcome, _value = self._attempt(
+                    self.proxies[name].increment)
+                self._count_increment(name, outcome)
+                outcomes.append(outcome)
+        else:
+            tiers = self.config.overload_tiers
+            tier = tiers[op.get("tier", 0) % len(tiers)]
+            prio = int(op.get("prio", 2)) % 4
+            qos = QoS(deadline_ms=tier, retries=self.config.retries,
+                      priority=prio)
+            outcomes = []
+            for _ in range(n):
+                outcome, _value = self._attempt(
+                    self.proxies[name].increment, _qos=qos)
+                self._count_increment(name, outcome)
+                outcomes.append(outcome)
+        summary = {}
+        for outcome in outcomes:
+            summary[outcome] = summary.get(outcome, 0) + 1
+        label = ",".join(f"{key}x{summary[key]}"
+                         for key in sorted(summary))
+        return ("ok" if set(outcomes) == {"ok"} else "mixed"), label
+
     def _count_increment(self, name: str, outcome: str) -> None:
         if outcome == "ok":
             self.counters[name]["acked"] += 1
@@ -372,6 +472,15 @@ class _Run:
             # either (an executed attempt is answered from the reply
             # cache, never shed).  Unacked, not ambiguous.
             self.counters[name]["shed"] += 1
+        elif outcome == "failed:InvocationExpiredError":
+            # Expired at a deadline gate.  Usually definitely-not-
+            # executed, but a retransmission whose original executed
+            # (reply lost, cached reply already expiry-evicted) also
+            # surfaces this — so it stays inside the ambiguous bound,
+            # tracked separately for the overload report.
+            self.counters[name]["ambiguous"] += 1
+            self.counters[name]["expired"] = \
+                self.counters[name].get("expired", 0) + 1
         else:
             # Anything else is ambiguous: the increment may or may not
             # have executed before the failure (0-or-1 bound).
@@ -702,6 +811,25 @@ class _Run:
             # group_consistency oracle compares them against the ledger.
             self.lease_client.enabled = False
         self.heal()
+        overload_executions: List[Dict[str, Any]] = []
+        overload_admission: Dict[str, List[Tuple[float, int, str]]] = {}
+        overload_budgets: Dict[str, Dict[str, Any]] = {}
+        if self.config.overload:
+            # Snapshot the oracle evidence *before* the out-of-band
+            # final reads below: those audits are not client traffic
+            # and must neither appear in the budget ledger the volume
+            # clause judges nor be shed by a still-elevated brownout.
+            registry = self.app.nucleus.retry_budgets
+            overload_budgets = registry.snapshot()
+            registry.enabled = False
+            for node in SERVER_NODES:
+                gate = self.srv[node].nucleus.deadline_gate
+                for entry in gate.execution_log:
+                    overload_executions.append(dict(entry, node=node))
+                controller = self.overload_controllers[node]
+                overload_admission[node] = list(controller.events)
+                if controller.brownout is not None:
+                    controller.brownout.level = 0
         unresolved = self.resolve_indoubt()
         final_qos = QoS(deadline_ms=None, retries=10)
 
@@ -816,6 +944,17 @@ class _Run:
                     node: self.srv[node].nucleus.admission.stats()
                     for node in SERVER_NODES},
             }
+        if self.config.overload:
+            end_state["overload"] = {
+                "admission": {
+                    node: self.overload_controllers[node].class_stats()
+                    for node in SERVER_NODES},
+                "gates": {
+                    node: self.srv[node].nucleus.deadline_gate.stats()
+                    for node in SERVER_NODES},
+                "budgets": self.app.nucleus.retry_budgets.totals(),
+                "executions": len(overload_executions),
+            }
         digest = digest_run(repr(self.plan), self.history.events,
                             end_state)
         return RunResult(
@@ -841,6 +980,12 @@ class _Run:
             lease_reads=(list(self.lease_client.read_log)
                          if self.lease_client is not None else []),
             lease_writes=self.lease_writes,
+            overload_executions=overload_executions,
+            overload_admission=overload_admission,
+            overload_budgets=overload_budgets,
+            overload_budget_params=(
+                self.app.nucleus.retry_budgets.ratio,
+                self.app.nucleus.retry_budgets.cap),
         )
 
 

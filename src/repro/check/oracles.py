@@ -427,6 +427,75 @@ def staleness_bound(result) -> List[Violation]:
     return violations
 
 
+def overload_safety(result) -> List[Violation]:
+    """Shed or expired work never executes; retries stay in budget;
+    shedding never inverts priority.
+
+    Judged against the evidence recorded in overload mode.  Three
+    clauses:
+
+    * *No execution past deadline*: the deadline gates log every
+      dispatched execution with the propagated deadline it carried; an
+      entry whose ``executed_at`` exceeds its deadline means a gate let
+      dead work burn compute — exactly what the ``deadline`` mutation
+      silently permits, so this clause is what must catch it.
+    * *Retry volume within budget*: per (node, protocol) path, granted
+      retries can never exceed the budget's opening balance plus the
+      ratio-deposit of every first attempt — the cap on retry
+      amplification that keeps a stall from going metastable.
+    * *No priority inversion*: within one virtual instant, once the
+      admission controller shed a request of class ``p``, no request of
+      a class below ``p`` may be admitted later in that same instant
+      (bounds are monotone in class and the token deficit only grows
+      while the clock stands still).
+    """
+    if not getattr(result.config, "overload", False):
+        return []
+    violations = []
+    for entry in result.overload_executions:
+        deadline = entry["deadline"]
+        if deadline is None:
+            continue
+        late = entry["executed_at"] - deadline
+        if late > 1e-6:
+            violations.append(Violation(
+                "overload_safety",
+                f"invocation {entry['inv_id']} ({entry['op']}) started "
+                f"executing on {entry['node']} at "
+                f"t={round(entry['executed_at'], 3)}, "
+                f"{round(late, 3)}ms past its propagated deadline "
+                f"{round(deadline, 3)} — expired work must be shed, "
+                f"never dispatched"))
+    ratio, cap = result.overload_budget_params
+    for path in sorted(result.overload_budgets):
+        stats = result.overload_budgets[path]
+        allowed = cap + ratio * stats["first_attempts"]
+        if stats["retries_granted"] > allowed + 1e-6:
+            violations.append(Violation(
+                "overload_safety",
+                f"path {path}: {stats['retries_granted']} retries "
+                f"granted exceeds the budget bound "
+                f"{round(allowed, 3)} (cap {cap} + {ratio} x "
+                f"{stats['first_attempts']} first attempts)"))
+    for node in sorted(result.overload_admission):
+        instant = None
+        worst_shed = -1
+        for t, priority, verdict in result.overload_admission[node]:
+            if instant is None or abs(t - instant) > 1e-9:
+                instant = t
+                worst_shed = -1
+            if verdict == "shed":
+                worst_shed = max(worst_shed, priority)
+            elif priority < worst_shed:
+                violations.append(Violation(
+                    "overload_safety",
+                    f"priority inversion on {node} at t={round(t, 3)}: "
+                    f"class {priority} admitted after class "
+                    f"{worst_shed} was shed in the same virtual "
+                    f"instant"))
+    return violations
+
+
 #: The oracle catalogue, in reporting order.
 ORACLES: Dict[str, Callable] = {
     "exactly_once": exactly_once,
@@ -435,6 +504,7 @@ ORACLES: Dict[str, Callable] = {
     "split_brain": split_brain,
     "shard_routing": shard_routing,
     "staleness_bound": staleness_bound,
+    "overload_safety": overload_safety,
     "relocation": relocation,
     "gc_safety": gc_safety,
     "clock_monotonic": clock_monotonic,

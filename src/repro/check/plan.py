@@ -23,6 +23,7 @@ from repro.net.fault import (
     FlakyWindow,
     GrayWindow,
     PartitionWindow,
+    StallWindow,
 )
 from repro.sim.rand import DeterministicRandom
 
@@ -50,6 +51,7 @@ OP_KINDS = (
     "shard_move",       # ring membership toggle: drain or re-admit a node
     "cached_get",       # replicated kv read through the lease cache
     "cached_burst",     # n reads of one key — the cache-hit hot path
+    "prio_invoke",      # increment with a priority class + tight deadline
 )
 
 
@@ -157,6 +159,12 @@ _OP_WEIGHTS_LEASES = (
     ("cached_get", 48),
     ("cached_burst", 16),
 )
+#: Overload-mode row, appended after every earlier mode's rows (same
+#: strict-append discipline): prioritized increments whose propagated
+#: deadlines are tight enough that chaos windows make expiry real.
+_OP_WEIGHTS_OVERLOAD = (
+    ("prio_invoke", 22),
+)
 
 _KEYS = ("k0", "k1", "k2", "k3", "k4", "k5")
 #: Shard-mode keyspace: wide enough to spread over many shards, small
@@ -173,6 +181,8 @@ def _weights_for(config):
         weights = weights + _OP_WEIGHTS_SHARDS
     if getattr(config, "leases", False):
         weights = weights + _OP_WEIGHTS_LEASES
+    if getattr(config, "overload", False):
+        weights = weights + _OP_WEIGHTS_OVERLOAD
     return weights
 
 
@@ -187,6 +197,10 @@ def _pick_kind(rng: DeterministicRandom, weights=_OP_WEIGHTS) -> str:
 
 def _generate_op(rng: DeterministicRandom, config, index: int) -> Op:
     kind = _pick_kind(rng, _weights_for(config))
+    if kind == "prio_invoke":
+        return Op(kind, counter=rng.randint(0, config.counters - 1),
+                  prio=rng.randint(0, 3), tier=rng.randint(0, 2),
+                  n=rng.randint(1, 4))
     if kind == "shard_incr" or kind == "shard_get":
         return Op(kind, key=rng.choice(_SHARD_KEYS))
     if kind == "shard_move":
@@ -235,13 +249,31 @@ def _generate_op(rng: DeterministicRandom, config, index: int) -> Op:
 
 
 def _generate_window(rng: DeterministicRandom, horizon_ms: float,
-                     partitions: bool = False):
+                     partitions: bool = False,
+                     overload: bool = False):
     start = round(rng.uniform(0.0, horizon_ms * 0.7), 3)
-    # The partition kinds are gated behind the mode flag rather than
-    # added to the default roll: window generation is a pure function
-    # of (seed, config), and widening the default range would reshuffle
-    # every pinned plan and digest in the regression corpus.
-    kind = rng.randint(0, 5 if partitions else 3)
+    # The partition and stall kinds are gated behind their mode flags
+    # rather than added to the default roll: window generation is a
+    # pure function of (seed, config), and widening the default range
+    # would reshuffle every pinned plan and digest in the regression
+    # corpus.  The stall kind takes the highest roll value so enabling
+    # it leaves every lower kind's mapping untouched.
+    hi = 3
+    if partitions:
+        hi += 2
+    if overload:
+        hi += 1
+    kind = rng.randint(0, hi)
+    if overload and kind == hi:
+        # Compute stall: the node keeps answering, slowly — queues
+        # build behind the inflated dispatch charges, deadlines die in
+        # them, and retry amplification starts.  The overload mode's
+        # signature chaos (benchmark C26's trigger, randomized).
+        duration = round(rng.uniform(horizon_ms * 0.05,
+                                     horizon_ms * 0.20), 3)
+        return StallWindow(rng.choice(SERVER_NODES), start,
+                           start + duration,
+                           factor=round(rng.uniform(80.0, 400.0), 3))
     if kind == 4:
         # Symmetric split: one server (sometimes with the client node)
         # against the rest of the fleet.
@@ -301,7 +333,8 @@ def generate_plan(seed: int, config) -> Plan:
 
     horizon = config.ops * config.op_budget_ms
     partitions = getattr(config, "partitions", False)
-    windows = [_generate_window(chaos_rng, horizon, partitions)
+    overload = getattr(config, "overload", False)
+    windows = [_generate_window(chaos_rng, horizon, partitions, overload)
                for _ in range(chaos_rng.randint(0, config.max_windows))]
     windows.sort(key=lambda w: (w.start_ms, type(w).__name__))
     return Plan(seed, ops, windows)

@@ -185,8 +185,10 @@ def repro_snippet(plan: Plan,
         "from repro.check import CheckConfig, run_plan\n"
         "from repro.check.oracles import run_all\n"
         "from repro.check.plan import Op, Plan\n"
-        "from repro.net.fault import (CrashWindow, CutWindow, "
-        "FlakyWindow,\n                             GrayWindow)\n"
+        "from repro.net.fault import (AsymPartitionWindow, "
+        "CrashWindow,\n                             CutWindow, "
+        "FlakyWindow, GrayWindow,\n"
+        "                             PartitionWindow, StallWindow)\n"
         "\n"
         f"config = {config!r}\n"
         f"plan = {plan!r}\n"

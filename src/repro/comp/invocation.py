@@ -46,6 +46,11 @@ class QoS:
     retry_jitter: float = 0.1
     #: Preferred protocol name; None lets the binder choose.
     protocol: Optional[str] = None
+    #: Priority class 0-3 (0 = background, shed first; 3 = critical).
+    #: Carried on the wire only when the nucleus opts into deadline
+    #: propagation; the class-aware admission controller sheds the
+    #: lowest class first under overload.
+    priority: int = 2
 
 
 # A single shared default instance (immutable, safe to share).

@@ -39,8 +39,15 @@ from repro.errors import (
     ProtocolMismatchError,
     ServerBusyError,
 )
+from repro.errors import RetryBudgetExhaustedError
 from repro.ndr.formats import get_format
 from repro.ndr.plancache import PlanCache
+from repro.overload.deadline import (
+    DEADLINE_KEY,
+    DEFAULT_PRIORITY,
+    PRIORITY_KEY,
+    deadline_of,
+)
 from repro.resilience.retry import RetryPolicy
 from repro.trace.context import current_trace
 from repro.trace.span import NULL_SPAN
@@ -99,6 +106,23 @@ class Channel:
             if cached is not None:
                 return cached
         context = context if context is not None else InvocationContext()
+        qos = qos or QoS.DEFAULT
+
+        # Deadline propagation (repro.overload): stamp the *absolute*
+        # deadline and any non-default priority into the context, so
+        # every hop — and the server's arrival gate — sees the budget
+        # the client actually has left, not a fresh per-hop allowance.
+        # Existing stamps win: a nested call inherits its caller's
+        # (tighter) deadline rather than restarting the clock.
+        if self.client_nucleus.deadline_propagation:
+            extra = context.extra
+            if qos.deadline_ms is not None and DEADLINE_KEY not in extra:
+                extra[DEADLINE_KEY] = \
+                    self.client_nucleus.network.scheduler.now + \
+                    qos.deadline_ms
+            if qos.priority != DEFAULT_PRIORITY \
+                    and PRIORITY_KEY not in extra:
+                extra[PRIORITY_KEY] = qos.priority
 
         # Trace allocation at the client stub (section 7.4): join the
         # ambient trace when this call is nested inside a dispatch,
@@ -123,7 +147,7 @@ class Channel:
             operation=operation,
             args=tuple(args),
             kind=kind,
-            qos=qos or QoS.DEFAULT,
+            qos=qos,
             context=context,
             epoch=self.ref.epoch,
             invocation_id=self.client_capsule.next_invocation_id(),
@@ -392,6 +416,13 @@ class TransportLayer:
         started = self.network.scheduler.now
         deadline = (None if qos.deadline_ms is None
                     else started + qos.deadline_ms)
+        # A propagated deadline (stamped by this or an upstream client)
+        # caps the local QoS allowance: no retry loop may run past it.
+        ctx_deadline = deadline_of(invocation.context.extra)
+        if ctx_deadline is not None and (deadline is None
+                                         or ctx_deadline < deadline):
+            deadline = ctx_deadline
+        budgets = self.nucleus.retry_budgets
         resilient = self.resilience_enabled
         policy = RetryPolicy.from_qos(qos) if resilient else None
         stats = self.nucleus.resilience
@@ -415,6 +446,7 @@ class TransportLayer:
                         f"{invocation.operation}: circuit open for "
                         f"{path.node}/{path.protocol}")
                 continue
+            budgets.note_first(path.node, "invoke")
             attempts = policy.max_attempts if policy else qos.retries + 1
             for attempt in range(attempts):
                 if deadline is not None and \
@@ -483,6 +515,13 @@ class TransportLayer:
                         if not resilient:
                             raise  # legacy: no failing over to other paths
                         break
+                    if not budgets.try_spend(path.node, "invoke"):
+                        # Retry budget dry: suppress the retransmission.
+                        # Retryable-later like a busy shed — and like
+                        # one, never a breaker/failover signal.
+                        raise RetryBudgetExhaustedError(
+                            f"{invocation.operation}: retry budget for "
+                            f"{path.node}/invoke exhausted") from exc
                     if policy is not None:
                         delay = policy.delay_ms(attempt, self._retry_rng)
                         if deadline is not None:
@@ -522,6 +561,11 @@ class TransportLayer:
                     stats.retries += 1
                     if not resilient or attempt + 1 >= attempts:
                         raise
+                    if not budgets.try_spend(path.node, "invoke"):
+                        raise RetryBudgetExhaustedError(
+                            f"{invocation.operation}: retry budget for "
+                            f"{path.node}/invoke exhausted while server "
+                            f"busy")
                     delay = policy.delay_ms(attempt, self._retry_rng)
                     if deadline is not None:
                         delay = min(delay, max(

@@ -20,7 +20,14 @@ from repro.comp.invocation import (
 from repro.comp.outcomes import Termination
 from repro.engine.capsule import Capsule
 from repro.engine.wire_errors import encode_error
-from repro.errors import MarshalError, OdpError, ServerBusyError
+from repro.errors import (
+    InvocationExpiredError,
+    MarshalError,
+    OdpError,
+    ServerBusyError,
+)
+from repro.overload.budget import RetryBudgetRegistry
+from repro.overload.deadline import DeadlineGate, deadline_of, priority_of
 from repro.comp.reference import AccessPath
 from repro.ndr.codec import Marshaller
 from repro.ndr.formats import get_format
@@ -51,7 +58,7 @@ class Nucleus:
         self.announcements_handled = 0
         #: Server side of the resilience layer: retransmissions of an
         #: already-executed invocation answer from here (exactly-once).
-        self.reply_cache = ReplyCache()
+        self.reply_cache = ReplyCache(clock=network.scheduler.clock)
         #: Client side: per-(node, protocol) breakers and counters for
         #: every transport this node's capsules open.
         self.breakers = BreakerRegistry(network.scheduler.clock)
@@ -60,6 +67,19 @@ class Nucleus:
         #: (see repro.perf.admission).  None: accept everything, which
         #: keeps default-seeded histories byte-identical to older runs.
         self.admission = None
+        #: Server-side deadline gate (repro.overload): sheds work whose
+        #: propagated deadline has already expired, before it consumes
+        #: admission tokens, and again after any queue wait.
+        self.deadline_gate = DeadlineGate(network.scheduler.clock)
+        #: Client-side retry budgets shared by every retrying layer this
+        #: node's capsules stack (transport, batcher, group/shard/lease
+        #: clients).  Observe-only until a run enables enforcement.
+        self.retry_budgets = RetryBudgetRegistry()
+        #: When True, channels and batchers issuing from this node stamp
+        #: the absolute QoS deadline (and any non-default priority) into
+        #: the invocation context.  Off by default so the default wire
+        #: format stays byte-identical to the pre-overload platform.
+        self.deadline_propagation = False
         #: Codec plan caches opened against this node (transports and
         #: batchers register here) — management visibility only.
         self.plan_caches = []
@@ -216,7 +236,7 @@ class Nucleus:
                                         tags={"from": source})
 
         self.requests_handled += 1
-        self.network.scheduler.clock.advance(self.processing_ms)
+        self.network.scheduler.clock.advance(self._processing_charge())
 
         # Retransmission of an invocation we already executed?  Answer
         # from the reply cache instead of dispatching twice.
@@ -259,12 +279,38 @@ class Nucleus:
             return self.wire.dumps(reply)
 
         marshaller = self.marshaller_for(capsule)
+        ctx_obj = inv_obj.get("ctx", {}) if isinstance(inv_obj, dict) \
+            else {}
+        extra = ctx_obj.get("extra", {}) if isinstance(ctx_obj, dict) \
+            else {}
+        deadline_at = deadline_of(extra)
+        gate = self.deadline_gate
+        if gate.expired(deadline_at):
+            # Expired before consuming admission tokens: shedding here
+            # keeps dead work from displacing live work in the queue.
+            gate.note_arrival_shed()
+            span.tag("error", "InvocationExpiredError")
+            span.finish(status="error")
+            return self.wire.dumps({"error": encode_error(
+                InvocationExpiredError(
+                    "propagated deadline already passed at arrival"),
+                marshaller)})
         if self.admission is not None:
-            busy = self._admit(span)
+            busy = self._admit(span, priority=priority_of(extra))
             if busy is not None:
                 span.finish(status="error")
                 return self.wire.dumps(
                     {"error": encode_error(busy, marshaller)})
+        if gate.expired(deadline_at):
+            # The admission queue wait outlived the deadline: still
+            # shed — nothing may start executing past its deadline.
+            gate.note_post_queue_shed()
+            span.tag("error", "InvocationExpiredError")
+            span.finish(status="error")
+            return self.wire.dumps({"error": encode_error(
+                InvocationExpiredError(
+                    "propagated deadline passed during queue wait"),
+                marshaller)})
         try:
             unmarshal_span = NULL_SPAN
             if span.span is not None and self.tracer.verbose:
@@ -280,6 +326,8 @@ class Nucleus:
                 invocation.context.trace = span
             elif trace_ctx is not None:
                 invocation.context.trace = trace_ctx
+            gate.note_execution(invocation_id, invocation.operation,
+                                deadline_at)
             termination = capsule.dispatch(invocation)
             reply = {"term": marshaller.marshal(termination)}
         except OdpError as exc:
@@ -290,13 +338,20 @@ class Nucleus:
         # retry after the fault was repaired (relocation, lock release)
         # is not answered with a stale failure.
         if invocation_id and "term" in reply:
-            self.reply_cache.store(invocation_id, encoded)
+            self.reply_cache.store(invocation_id, encoded,
+                                   expires_at=deadline_at)
         span.finish("ok" if "term" in reply else "error")
         return encoded
 
     # -- admission + batching ------------------------------------------------
 
-    def _admit(self, parent_span) -> Any:
+    def _processing_charge(self) -> float:
+        """Per-message compute charge, inflated by any active stall
+        window (see ``repro.net.fault.StallWindow``)."""
+        return self.processing_ms * \
+            self.network.faults.compute_factor(self.node_address)
+
+    def _admit(self, parent_span, priority: int = 2) -> Any:
         """Pass one invocation through admission control.
 
         Returns ``None`` when admitted (after charging any queue wait to
@@ -304,7 +359,7 @@ class Nucleus:
         server latency) or the :class:`ServerBusyError` when shed.
         """
         try:
-            wait_ms = self.admission.admit()
+            wait_ms = self.admission.admit(priority=priority)
         except ServerBusyError as exc:
             if parent_span.span is not None:
                 self.tracer.span(
@@ -339,7 +394,7 @@ class Nucleus:
         entire point of batching.
         """
         self.requests_handled += 1
-        self.network.scheduler.clock.advance(self.processing_ms)
+        self.network.scheduler.clock.advance(self._processing_charge())
         capsule = self.capsules.get(envelope.get("capsule", ""))
         if capsule is None:
             return self.wire.dumps(
@@ -374,11 +429,21 @@ class Nucleus:
             if cached is not None:
                 verdicts.append(("cached", self.wire.loads(cached)))
                 continue
+            ctx_obj = obj.get("ctx", {})
+            extra = (ctx_obj.get("extra", {})
+                     if isinstance(ctx_obj, dict) else {})
+            if self.deadline_gate.expired(deadline_of(extra)):
+                self.deadline_gate.note_arrival_shed()
+                verdicts.append(("expired", InvocationExpiredError(
+                    "propagated deadline already passed at batch "
+                    "arrival")))
+                continue
             if self.admission is None:
                 verdicts.append(("run", 0.0))
                 continue
             try:
-                verdicts.append(("run", self.admission.admit()))
+                verdicts.append(("run", self.admission.admit(
+                    priority=priority_of(extra))))
             except ServerBusyError as exc:
                 verdicts.append(("shed", exc))
         replies = [
@@ -414,6 +479,10 @@ class Nucleus:
                 ).finish(status="shed")
             span.tag("error", "ServerBusyError").finish(status="error")
             return {"error": encode_error(detail, marshaller)}
+        if verdict == "expired":
+            span.tag("error", "InvocationExpiredError") \
+                .finish(status="error")
+            return {"error": encode_error(detail, marshaller)}
 
         clock = self.network.scheduler.clock
         wait_until = arrival + detail  # detail: wait_ms from admission
@@ -426,20 +495,36 @@ class Nucleus:
             clock.advance(wait_until - clock.now)
             queue_span.finish()
         invocation_id = obj.get("inv_id", "")
-        clock.advance(self.processing_ms)
+        clock.advance(self._processing_charge())
+        extra = (ctx_obj.get("extra", {})
+                 if isinstance(ctx_obj, dict) else {})
+        deadline_at = deadline_of(extra)
+        if self.deadline_gate.expired(deadline_at):
+            # The batch queue wait outlived this member's deadline.
+            self.deadline_gate.note_post_queue_shed()
+            span.tag("error", "InvocationExpiredError") \
+                .finish(status="error")
+            return {"error": encode_error(
+                InvocationExpiredError(
+                    "propagated deadline passed during batch queue "
+                    "wait"),
+                marshaller)}
         try:
             invocation = self._decode_invocation(capsule, obj)
             if span.span is not None:
                 invocation.context.trace = span
             elif trace_ctx is not None:
                 invocation.context.trace = trace_ctx
+            self.deadline_gate.note_execution(
+                invocation_id, invocation.operation, deadline_at)
             termination = capsule.dispatch(invocation)
             reply = {"term": marshaller.marshal(termination)}
         except OdpError as exc:
             reply = {"error": encode_error(exc, marshaller)}
             span.tag("error", type(exc).__name__)
         if invocation_id and "term" in reply:
-            self.reply_cache.store(invocation_id, self.wire.dumps(reply))
+            self.reply_cache.store(invocation_id, self.wire.dumps(reply),
+                                   expires_at=deadline_at)
         span.finish("ok" if "term" in reply else "error")
         return reply
 
@@ -474,7 +559,7 @@ class Nucleus:
             span = self.tracer.span(f"server:{op}", "server", trace_ctx,
                                     node=self.node.address,
                                     tags={"kind": "async"})
-        self.network.scheduler.clock.advance(self.processing_ms)
+        self.network.scheduler.clock.advance(self._processing_charge())
         marshaller = self.marshaller_for(capsule)
         try:
             invocation = self._decode_invocation(capsule, envelope["inv"])
@@ -510,7 +595,7 @@ class Nucleus:
             span = self.tracer.span(f"server:{op}", "server", trace_ctx,
                                     node=self.node.address,
                                     tags={"kind": "announcement"})
-        self.network.scheduler.clock.advance(self.processing_ms)
+        self.network.scheduler.clock.advance(self._processing_charge())
         capsule = self.capsules.get(envelope.get("capsule", ""))
         if capsule is None:
             span.finish(status="error")

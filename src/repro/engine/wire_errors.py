@@ -16,6 +16,8 @@ from repro.ndr.codec import Marshaller
 #: code -> exception class; order matters for encoding (subclasses first).
 _CODES = (
     ("server_busy", errors.ServerBusyError),
+    ("expired", errors.InvocationExpiredError),
+    ("retry_budget", errors.RetryBudgetExhaustedError),
     ("busy", errors.LockBusyError),
     ("deadlock", errors.DeadlockError),
     ("lock_timeout", errors.LockTimeoutError),

@@ -72,6 +72,35 @@ class ServerBusyError(CommunicationError):
     retryable = True
 
 
+class InvocationExpiredError(CommunicationError):
+    """The invocation's propagated deadline elapsed before execution.
+
+    Raised by the server-side deadline gate (``repro.overload``) when a
+    request arrives — or finishes its admission queue wait — after the
+    absolute deadline its client stamped into the context.  Like a
+    :class:`ServerBusyError` shed it is a promise the operation
+    *definitely did not execute*; unlike one it is **not** retryable:
+    the deadline is already dead, and retrying work nobody is waiting
+    for is exactly the amplification that sustains metastable overload.
+    """
+
+    retryable = False
+
+
+class RetryBudgetExhaustedError(CommunicationError):
+    """A retry was suppressed because the path's retry budget ran dry.
+
+    Raised client-side by any retrying layer (transport, batcher,
+    group/shard/lease clients) when the shared per-(node, protocol)
+    budget (``repro.overload``) has no tokens left.  Classified exactly
+    like :class:`ServerBusyError`: retryable *later*, and never
+    evidence that a member died — it must not suspect group members,
+    feed circuit breakers, or trigger shard-router failover.
+    """
+
+    retryable = True
+
+
 class BindingError(OdpError):
     """The binder could not construct a channel to the target interface."""
 

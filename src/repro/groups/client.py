@@ -18,11 +18,14 @@ from repro.errors import (
     EpochFencedError,
     GroupError,
     GroupUnavailableError,
+    InvocationExpiredError,
     MembershipError,
     NodeUnreachableError,
     NoQuorumError,
+    RetryBudgetExhaustedError,
 )
 from repro.groups.member import ROLE_KEY, VIEW_KEY
+from repro.overload.deadline import deadline_of
 
 
 class GroupInvokeLayer(ClientLayer):
@@ -60,14 +63,32 @@ class GroupInvokeLayer(ClientLayer):
                 (group.spec.policy == "read_spread" or self.follower_reads):
             return self._read_anywhere(group, invocation)
 
+        budgets = self.nucleus.retry_budgets
+        deadline_at = deadline_of(invocation.context.extra)
         attempts = self.max_view_changes + 1
         no_quorum = None
-        for _ in range(attempts):
+        for attempt in range(attempts):
             sequencer = group.view.sequencer
             if sequencer is None:
                 raise GroupUnavailableError(
                     f"group {self.group_id} has no live members; retry "
                     f"once a supervisor revives or replaces them")
+            if attempt:
+                # Every path here followed a definitely-not-executed
+                # failure (fenced / rolled-back quorum loss / unreached)
+                # so a client-side shed is safe — and mandatory once the
+                # propagated deadline is dead or the budget is dry.
+                if deadline_at is not None and \
+                        self.nucleus.network.scheduler.now > deadline_at:
+                    raise InvocationExpiredError(
+                        f"group {self.group_id}: propagated deadline "
+                        f"passed before retry")
+                if not budgets.try_spend(sequencer.node, "group"):
+                    raise RetryBudgetExhaustedError(
+                        f"group {self.group_id}: retry budget for "
+                        f"{sequencer.node}/group exhausted")
+            else:
+                budgets.note_first(sequencer.node, "group")
             # Stamp the view this request was routed under, so a stale
             # routing decision is fenced at the member instead of being
             # applied under the wrong membership (split-brain guard).
@@ -109,11 +130,25 @@ class GroupInvokeLayer(ClientLayer):
             raise GroupUnavailableError(
                 f"group {self.group_id} has no live members to read "
                 f"from; retry once a supervisor revives or replaces them")
+        budgets = self.nucleus.retry_budgets
+        deadline_at = deadline_of(invocation.context.extra)
         tried = 0
         while tried < live_count:
             if not group.view.live_members():
                 break  # every candidate was suspected mid-loop
             member = group.rotate_reader()
+            if tried:
+                if deadline_at is not None and \
+                        self.nucleus.network.scheduler.now > deadline_at:
+                    raise InvocationExpiredError(
+                        f"group {self.group_id}: propagated deadline "
+                        f"passed before read retry")
+                if not budgets.try_spend(member.node, "group"):
+                    raise RetryBudgetExhaustedError(
+                        f"group {self.group_id}: read retry budget for "
+                        f"{member.node}/group exhausted")
+            else:
+                budgets.note_first(member.node, "group")
             read = Invocation(
                 interface_id=member.interface_id,
                 operation=invocation.operation,

@@ -59,6 +59,7 @@ class LeaseClient:
         self.invalidations = 0
         self.flushes = 0
         self.acquire_failures = 0
+        self.renewals_skipped = 0
         nucleus.node.on_deliver(INVAL_KIND, self._on_invalidation)
 
     # -- the read path -------------------------------------------------------
@@ -91,7 +92,15 @@ class LeaseClient:
             return None
         ttl = self.authority.registered.get(
             interface_id, self.authority.default_ttl_ms)
-        if expiry - self.clock.now <= ttl * 0.5:
+        if expiry - self.clock.now <= ttl * 0.5 and \
+                not self.nucleus.retry_budgets.can_spend(
+                    self.authority.home_node(), "lease"):
+            # Proactive renewal is *optional* work: when the path to
+            # the authority is already in retry debt (budget dry) the
+            # renewal is skipped rather than piled on — the unrenewed
+            # grant still bounds staleness, and expiry fences us.
+            self.renewals_skipped += 1
+        elif expiry - self.clock.now <= ttl * 0.5:
             # Past the grant's half-life: renew proactively, so a busy
             # reader keeps an unbroken lease instead of lapsing and
             # refetching.  Every renewal contact also delivers the
@@ -215,5 +224,6 @@ class LeaseClient:
             "invalidations": self.invalidations,
             "flushes": self.flushes,
             "acquire_failures": self.acquire_failures,
+            "renewals_skipped": self.renewals_skipped,
             "entries": len(self.entries),
         }

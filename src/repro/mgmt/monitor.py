@@ -148,13 +148,15 @@ class TransparencyMonitor:
             clients = {"clients": 0, "hits": 0, "misses": 0, "fills": 0,
                        "skipped_fills": 0, "expired": 0,
                        "invalidations": 0, "flushes": 0,
-                       "acquire_failures": 0, "entries": 0}
+                       "acquire_failures": 0, "renewals_skipped": 0,
+                       "entries": 0}
             for holder in sorted(domain.leases.clients):
                 stats = domain.leases.clients[holder].stats()
                 clients["clients"] += 1
                 for key in ("hits", "misses", "fills", "skipped_fills",
                             "expired", "invalidations", "flushes",
-                            "acquire_failures", "entries"):
+                            "acquire_failures", "renewals_skipped",
+                            "entries"):
                     clients[key] += stats[key]
             lease["cache"] = clients
             report["lease"] = lease
@@ -162,6 +164,7 @@ class TransparencyMonitor:
             report["heal"] = domain.supervisor.report()
         report["resilience"] = self.resilience_report()
         report["perf"] = self.perf_report()
+        report["overload"] = self.overload_report()
         if domain._tracer is not None:
             report["trace"] = self.trace_report()
         return report
@@ -208,6 +211,52 @@ class TransparencyMonitor:
                 busy_retries += transport.busy_retries
         return {"admission": admission, "plan_cache": plans,
                 "batching": batching, "busy_retries": busy_retries}
+
+    def overload_report(self) -> Dict[str, Any]:
+        """Overload-robustness counters: deadline-gate sheds, per-class
+        admission/shed tallies, brownout state and retry-budget balance
+        across the domain's nuclei.  Always present (zeros when the
+        machinery is idle) so dashboards need no existence checks."""
+        gate = {"expired_on_arrival": 0, "expired_post_queue": 0}
+        classes = {"class_admitted": [0, 0, 0, 0],
+                   "class_shed": [0, 0, 0, 0],
+                   "brownout_shed": 0}
+        brownout = {"level": 0, "escalations": 0, "relaxations": 0}
+        budgets = {"paths": 0, "first_attempts": 0,
+                   "retries_granted": 0, "retries_denied": 0,
+                   "balance": 0.0}
+        expired_evictions = 0
+        for nucleus in self.domain.nuclei.values():
+            stats = nucleus.deadline_gate.stats()
+            gate["expired_on_arrival"] += stats["expired_on_arrival"]
+            gate["expired_post_queue"] += stats["expired_post_queue"]
+            controller = nucleus.admission
+            if controller is not None and \
+                    hasattr(controller, "class_stats"):
+                per_class = controller.class_stats()
+                for i in range(4):
+                    classes["class_admitted"][i] += \
+                        per_class["admitted"][i]
+                    classes["class_shed"][i] += per_class["shed"][i]
+                classes["brownout_shed"] += per_class["brownout_shed"]
+                if controller.brownout is not None:
+                    b_stats = controller.brownout.stats()
+                    brownout["level"] = max(brownout["level"],
+                                            b_stats["level"])
+                    brownout["escalations"] += b_stats["escalations"]
+                    brownout["relaxations"] += b_stats["relaxations"]
+            totals = nucleus.retry_budgets.totals()
+            budgets["paths"] += totals["paths"]
+            budgets["first_attempts"] += totals["first_attempts"]
+            budgets["retries_granted"] += totals["retries_granted"]
+            budgets["retries_denied"] += totals["retries_denied"]
+            for snapshot in nucleus.retry_budgets.snapshot().values():
+                budgets["balance"] += snapshot["tokens"]
+            expired_evictions += nucleus.reply_cache.expired_evictions
+        budgets["balance"] = round(budgets["balance"], 6)
+        return {"deadline_gate": gate, "classes": classes,
+                "brownout": brownout, "retry_budgets": budgets,
+                "expired_reply_evictions": expired_evictions}
 
     def trace_report(self) -> Dict[str, Any]:
         """Causal-tracing snapshot: collector counters plus the

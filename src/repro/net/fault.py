@@ -43,6 +43,8 @@ class FaultPlan:
         self._lose_next: Dict[Tuple[str, str], int] = {}
         #: Directional latency inflation for gray links: (src, dst) -> factor.
         self._gray: Dict[Tuple[str, str], float] = {}
+        #: Per-node compute slowdown factors (stall windows): node -> x.
+        self._stall: Dict[str, float] = {}
         self._schedule: Optional["FaultSchedule"] = None
         self._clock = None
         self.drops = 0
@@ -128,6 +130,27 @@ class FaultPlan:
     def latency_factor(self, source: str, destination: str) -> float:
         self._sync()
         return self._gray.get((source, destination), 1.0)
+
+    # -- compute stalls --------------------------------------------------------
+
+    def stall_node(self, node: str, factor: float) -> None:
+        """Slow a node's *compute* by ``factor`` (GC pause, noisy
+        neighbour, page-cache thrash): every processing charge its
+        nucleus makes is inflated, while its links stay healthy — the
+        overload trigger, distinct from a gray link's latency."""
+        if factor < 1.0:
+            raise ValueError("stall factor must be >= 1.0")
+        if factor == 1.0:
+            self._stall.pop(node, None)
+        else:
+            self._stall[node] = factor
+
+    def unstall_node(self, node: str) -> None:
+        self._stall.pop(node, None)
+
+    def compute_factor(self, node: str) -> float:
+        self._sync()
+        return self._stall.get(node, 1.0)
 
     # -- node crash / restart ------------------------------------------------
 
@@ -335,6 +358,22 @@ class GrayWindow:
 
 
 @dataclass(frozen=True)
+class StallWindow:
+    """Slow a node's compute by ``factor`` during [start_ms, end_ms).
+
+    The server keeps answering — slowly.  Unlike a crash nothing trips
+    breakers or failure detectors immediately; unlike a gray link the
+    slowdown is in the *dispatch* path, so queues build behind it.  The
+    canonical trigger for metastable retry storms (benchmark C26).
+    """
+
+    node: str
+    start_ms: float
+    end_ms: float
+    factor: float
+
+
+@dataclass(frozen=True)
 class CutWindow:
     """Cut the (undirected) link a--b at start_ms; heal at end_ms."""
 
@@ -482,6 +521,16 @@ class FaultSchedule:
                 (window.end_ms,
                  lambda plan, src=src, dst=dst:
                  plan.restore_link(src, dst)),
+            ]
+
+        if isinstance(window, StallWindow):
+            node, factor = window.node, window.factor
+            return [
+                (window.start_ms,
+                 lambda plan, node=node, factor=factor:
+                 plan.stall_node(node, factor)),
+                (window.end_ms,
+                 lambda plan, node=node: plan.unstall_node(node)),
             ]
 
         if isinstance(window, CutWindow):

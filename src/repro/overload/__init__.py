@@ -1,0 +1,47 @@
+"""Overload robustness: deadline propagation, retry budgets, brownout.
+
+The mechanisms that keep a transparent infrastructure dependable when
+the threat is not a crash or a partition but *its own clients*: a
+transient stall turns into naive retransmissions from every layer, and
+without shared budgets, propagated deadlines and class-aware shedding
+the system settles into a metastable state where all capacity is spent
+on work nobody is still waiting for.
+"""
+
+from repro.overload.budget import RetryBudget, RetryBudgetRegistry
+from repro.overload.deadline import (
+    DEADLINE_KEY,
+    DEFAULT_PRIORITY,
+    NUM_CLASSES,
+    PRIORITY_KEY,
+    DeadlineGate,
+    deadline_of,
+    priority_of,
+)
+
+__all__ = [
+    "BrownoutController",
+    "ClassAdmissionController",
+    "RetryBudget",
+    "RetryBudgetRegistry",
+    "DEADLINE_KEY",
+    "DEFAULT_PRIORITY",
+    "NUM_CLASSES",
+    "PRIORITY_KEY",
+    "DeadlineGate",
+    "deadline_of",
+    "priority_of",
+]
+
+
+def __getattr__(name):
+    # The admission module subclasses repro.perf's controller, and
+    # repro.perf transitively imports the engine — which imports this
+    # package for the budget/deadline primitives.  Resolving the
+    # admission exports lazily keeps that cycle open.
+    if name in ("BrownoutController", "ClassAdmissionController"):
+        from repro.overload import admission
+
+        return getattr(admission, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -70,8 +70,12 @@ class AdmissionController:
         deficit = -self._tokens
         return int(deficit) if deficit > 0.0 else 0
 
-    def admit(self, cost: int = 1) -> float:
+    def admit(self, cost: int = 1, priority: int = 2) -> float:
         """Admit *cost* invocations; returns the queue wait in ms.
+
+        ``priority`` is accepted (and ignored) so callers can pass the
+        invocation's class uniformly; the class-aware subclass in
+        ``repro.overload`` is what actually honours it.
 
         Raises :class:`ServerBusyError` (shedding the work *unexecuted*)
         when the bounded queue would overflow.  The caller charges the

@@ -52,10 +52,17 @@ from repro.errors import (
     NodeUnreachableError,
     OdpError,
     ProtocolMismatchError,
+    RetryBudgetExhaustedError,
     ServerBusyError,
 )
 from repro.ndr.formats import get_format
 from repro.ndr.plancache import PlanCache, encode_batch
+from repro.overload.deadline import (
+    DEADLINE_KEY,
+    DEFAULT_PRIORITY,
+    PRIORITY_KEY,
+    deadline_of,
+)
 from repro.resilience.retry import RetryPolicy
 from repro.trace.context import current_trace
 from repro.trace.span import NULL_SPAN
@@ -126,6 +133,15 @@ class BatchClient:
         path = ref.primary_path()
         key = (path.node, path.protocol, path.capsule, path.wire_format)
         context = InvocationContext(principal=principal)
+        # Deadline propagation: the batch path stamps exactly what the
+        # channel mouth would, so a batched member's server-side gate
+        # treatment is identical to its unbatched twin's.
+        if self.nucleus.deadline_propagation:
+            if self.qos.deadline_ms is not None:
+                context.extra[DEADLINE_KEY] = \
+                    self.network.scheduler.now + self.qos.deadline_ms
+            if self.qos.priority != DEFAULT_PRIORITY:
+                context.extra[PRIORITY_KEY] = self.qos.priority
         domain = self.nucleus.domain
         if domain is not None:
             context.origin_domain = domain.name
@@ -210,8 +226,11 @@ class BatchClient:
             batch_span.tag("error", "CircuitOpen").finish(status="rejected")
             return
 
+        stamped = [d for d in (deadline_of(e.context.extra)
+                               for e in entries) if d is not None]
         reply = self._exchange(node, protocol, payload, len(entries),
-                               tracer, batch_span)
+                               tracer, batch_span,
+                               min(stamped) if stamped else None)
         if isinstance(reply, OdpError):
             if isinstance(reply, NodeUnreachableError):
                 breaker.record_failure()
@@ -245,14 +264,25 @@ class BatchClient:
         return fmt.dumps(inv)[len(fmt._MAGIC):]
 
     def _exchange(self, node: str, protocol: str, payload: bytes,
-                  size: int, tracer, batch_span):
+                  size: int, tracer, batch_span,
+                  deadline_at: Optional[float] = None):
         """One batch round trip with whole-batch retransmission.
 
         Returns the reply bytes, or the terminal error when the retry
-        budget (or the path) is exhausted.
+        budget (or the path) is exhausted.  ``deadline_at`` is the
+        earliest propagated member deadline: no retransmission happens
+        past it, and backoff waits are clipped to it.
         """
         policy = RetryPolicy.from_qos(self.qos)
         stats = self.nucleus.resilience
+        budgets = self.nucleus.retry_budgets
+        deadline = (None if self.qos.deadline_ms is None
+                    else self.network.scheduler.now
+                    + self.qos.deadline_ms)
+        if deadline_at is not None and (deadline is None
+                                        or deadline_at < deadline):
+            deadline = deadline_at
+        budgets.note_first(node, "batch")
         for attempt in range(policy.max_attempts):
             net_span = NULL_SPAN
             if batch_span is not NULL_SPAN:
@@ -271,7 +301,16 @@ class BatchClient:
                 stats.retries += 1
                 if attempt + 1 >= policy.max_attempts:
                     return exc
+                if deadline is not None and \
+                        self.network.scheduler.now >= deadline:
+                    return exc  # deadline dead: no retransmission
+                if not budgets.try_spend(node, "batch"):
+                    return RetryBudgetExhaustedError(
+                        f"batch to {node}: retry budget exhausted")
                 delay = policy.delay_ms(attempt, self._retry_rng)
+                if deadline is not None:
+                    delay = min(delay, max(
+                        0.0, deadline - self.network.scheduler.now))
                 stats.backoff_wait_ms += delay
                 self.network.scheduler.clock.advance(delay)
             except NodeUnreachableError as exc:

@@ -21,7 +21,7 @@ window-of-vulnerability trade every dedup cache makes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Dict, Optional
 
 
 class ReplyCache:
@@ -33,15 +33,25 @@ class ReplyCache:
     #: Never set in production code paths.
     mutate_skip_lookup = False
 
-    def __init__(self, capacity: int = 4096, enabled: bool = True) -> None:
+    def __init__(self, capacity: int = 4096, enabled: bool = True,
+                 clock=None) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity = capacity
         self.enabled = enabled
+        #: Virtual clock for eager deadline eviction; None disables it.
+        self.clock = clock
         self._replies: "OrderedDict[str, bytes]" = OrderedDict()
+        #: invocation_id -> propagated deadline for entries whose
+        #: invocation carried one.  Past its deadline a reply can never
+        #: be *legally* replayed — the client stops retransmitting — so
+        #: the entry is dead weight and is purged eagerly instead of
+        #: squatting in the capacity window.
+        self._expiry: Dict[str, float] = {}
         self.duplicates_suppressed = 0
         self.replies_cached = 0
         self.evictions = 0
+        self.expired_evictions = 0
 
     def lookup(self, invocation_id: str) -> Optional[bytes]:
         """Return the cached reply for a retransmission, if any."""
@@ -54,16 +64,43 @@ class ReplyCache:
             self.duplicates_suppressed += 1
         return reply
 
-    def store(self, invocation_id: str, reply: bytes) -> None:
+    def store(self, invocation_id: str, reply: bytes,
+              expires_at: Optional[float] = None) -> None:
         if not self.enabled or not invocation_id or self.capacity == 0:
             return
         if invocation_id not in self._replies:
             self.replies_cached += 1
         self._replies[invocation_id] = reply
         self._replies.move_to_end(invocation_id)
+        if expires_at is not None:
+            self._expiry[invocation_id] = expires_at
+        else:
+            self._expiry.pop(invocation_id, None)
+        self.purge_expired()
         while len(self._replies) > self.capacity:
-            self._replies.popitem(last=False)
+            evicted, _ = self._replies.popitem(last=False)
+            self._expiry.pop(evicted, None)
             self.evictions += 1
+
+    def purge_expired(self) -> int:
+        """Evict entries whose propagated deadline has passed.
+
+        Capacity eviction is insertion-ordered and blind: under churn a
+        burst of short-deadline traffic can push *live* entries out of
+        the window while its own — unreplayable — replies stay cached.
+        Eager expiry eviction keeps the window for entries a client
+        might still legally claim.
+        """
+        if self.clock is None or not self._expiry:
+            return 0
+        now = self.clock.now
+        stale = [invocation_id for invocation_id, at
+                 in self._expiry.items() if at < now]
+        for invocation_id in stale:
+            del self._expiry[invocation_id]
+            self._replies.pop(invocation_id, None)
+            self.expired_evictions += 1
+        return len(stale)
 
     def merge_from(self, other: "ReplyCache") -> int:
         """Union another node's entries into this cache (state handoff).
@@ -80,9 +117,13 @@ class ReplyCache:
         for invocation_id, reply in other._replies.items():
             if invocation_id not in self._replies:
                 self._replies[invocation_id] = reply
+                if invocation_id in other._expiry:
+                    self._expiry[invocation_id] = \
+                        other._expiry[invocation_id]
                 copied += 1
         while len(self._replies) > self.capacity:
-            self._replies.popitem(last=False)
+            evicted, _ = self._replies.popitem(last=False)
+            self._expiry.pop(evicted, None)
             self.evictions += 1
         return copied
 
@@ -94,10 +135,12 @@ class ReplyCache:
             "duplicates_suppressed": self.duplicates_suppressed,
             "replies_cached": self.replies_cached,
             "evictions": self.evictions,
+            "expired_evictions": self.expired_evictions,
         }
 
     def clear(self) -> None:
         self._replies.clear()
+        self._expiry.clear()
 
     def __len__(self) -> int:
         return len(self._replies)

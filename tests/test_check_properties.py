@@ -189,4 +189,5 @@ class TestCli:
         assert list(ORACLES) == [
             "exactly_once", "tx_atomicity", "group_consistency",
             "split_brain", "shard_routing", "staleness_bound",
-            "relocation", "gc_safety", "clock_monotonic", "self_heal"]
+            "overload_safety", "relocation", "gc_safety",
+            "clock_monotonic", "self_heal"]

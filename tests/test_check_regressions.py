@@ -269,3 +269,62 @@ def test_leases_mode_plan_is_deterministic():
     lease = first.end_state["lease"]
     assert lease["client"]["hits"] > 0  # the cache actually served
     assert first.lease_reads, "read evidence must be recorded"
+
+
+# ---------------------------------------------------------------------------
+# Pinned expired-execution scenario (overload-safety oracle)
+# ---------------------------------------------------------------------------
+#
+# Shrunk from the --overload --mutate deadline sweep (ddmin took seed 0
+# from 60 ops and 2 windows to this).  A class-0 burst drains the
+# server's admission burst and builds a token deficit; the tight-tier
+# burst behind it is then admitted into a queue wait longer than its
+# 2.5ms deadline.  With the post-queue deadline check skipped, the
+# expired members start executing past their propagated deadlines —
+# exactly (and only) what the overload_safety oracle's never-execute
+# clause must trip on.
+
+OVERLOAD_DEADLINE_MINIMAL = Plan(seed=0, ops=[
+    Op("prio_invoke", counter=1, n=3, prio=0, tier=1),
+    Op("prio_invoke", counter=1, n=2, prio=2, tier=0),
+], windows=[])
+
+
+def test_overload_deadline_minimal_plan_still_detected():
+    config = CheckConfig().with_overload().with_mutations("deadline")
+    result = run_plan(OVERLOAD_DEADLINE_MINIMAL, config)
+    violations = run_all(result)
+    assert {v.oracle for v in violations} == {"overload_safety"}
+    # The evidence is the gate's own execution log: dispatches whose
+    # deadline had already passed when they started.
+    late = [entry for entry in result.overload_executions
+            if entry["deadline"] is not None
+            and entry["executed_at"] > entry["deadline"]]
+    assert late
+
+
+def test_overload_deadline_minimal_plan_clean_without_mutation():
+    config = CheckConfig().with_overload()
+    result = run_plan(OVERLOAD_DEADLINE_MINIMAL, config)
+    assert run_all(result) == []
+    # Non-vacuous: the same queue waits occurred, but the intact gate
+    # shed the expired members before dispatch instead of running them.
+    gates = result.end_state["overload"]["gates"]
+    assert sum(g["expired_post_queue"] for g in gates.values()) > 0
+
+
+def test_overload_mode_plan_is_deterministic():
+    from repro.check.explorer import run_seed
+
+    config = CheckConfig().with_overload()
+    first = run_seed(0, config)
+    second = run_seed(0, config)
+    assert run_all(first) == []
+    assert first.digest == second.digest
+    overload = first.end_state["overload"]
+    # The mode is non-vacuous: deadlines expired, classes were shed,
+    # and retry budgets were consulted.
+    assert overload["executions"] > 0
+    assert sum(g["expired_post_queue"]
+               for g in overload["gates"].values()) > 0
+    assert overload["budgets"]["first_attempts"] > 0

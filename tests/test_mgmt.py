@@ -144,6 +144,44 @@ class TestTransparencyMonitor:
         assert report["transactions"]["committed"] == 1
         assert report["migration"]["migrations"] == 1
 
+    def test_domain_report_has_an_overload_section(self, trio_domain):
+        from repro import QoS
+        from repro.overload import (
+            BrownoutController,
+            ClassAdmissionController,
+        )
+
+        world, domain, (c1, c2, c3), clients = trio_domain
+        ref = c1.export(Counter())
+        proxy = world.binder_for(clients).bind(ref)
+        # Idle platform: the section is present with all-zero counters.
+        report = TransparencyMonitor(domain).domain_report()["overload"]
+        assert report["deadline_gate"]["expired_post_queue"] == 0
+        assert report["retry_budgets"]["first_attempts"] == 0
+        assert report["expired_reply_evictions"] == 0
+        # Exercise the stack: class-aware admission under brownout and
+        # a propagated deadline dying in the admission queue.
+        brownout = BrownoutController(world.clock)
+        brownout.level = 2
+        world.nucleus("n1").admission = ClassAdmissionController(
+            world.clock, rate_per_s=10.0, burst=1, max_queue=8,
+            brownout=brownout)
+        world.nucleus("client-node").deadline_propagation = True
+        from repro.errors import InvocationExpiredError, ServerBusyError
+        with pytest.raises(ServerBusyError):
+            proxy.increment(_qos=QoS(priority=0, retries=0))
+        proxy.increment(_qos=QoS(priority=3))
+        with pytest.raises(InvocationExpiredError):
+            proxy.increment(_qos=QoS(priority=3, deadline_ms=5.0,
+                                     retries=0))
+        report = TransparencyMonitor(domain).domain_report()["overload"]
+        assert report["classes"]["brownout_shed"] == 1
+        assert report["classes"]["class_shed"][0] == 1
+        assert report["classes"]["class_admitted"][3] == 2
+        assert report["brownout"]["level"] == 2
+        assert report["deadline_gate"]["expired_post_queue"] == 1
+        assert report["retry_budgets"]["first_attempts"] >= 3
+
     def test_network_report_scoped_to_domain(self, two_domains):
         world, alpha, beta = two_domains
         servers = world.capsule("a1", "srv")

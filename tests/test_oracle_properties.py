@@ -188,3 +188,20 @@ def test_op_weight_tables_append_strictly_in_mode_order():
         # every other mode's prefix (hence its plans) is untouched.
         assert with_leases[:len(without)] == without
         assert with_leases[len(without):] == _OP_WEIGHTS_LEASES
+
+
+def test_overload_rows_append_after_every_earlier_mode():
+    from repro.check.explorer import CheckConfig
+    from repro.check.plan import _OP_WEIGHTS_OVERLOAD, _weights_for
+
+    for base in (CheckConfig(), CheckConfig().with_batching(),
+                 CheckConfig().with_shards(),
+                 CheckConfig().with_leases(),
+                 CheckConfig().with_batching().with_shards()
+                              .with_leases()):
+        without = _weights_for(base)
+        with_overload = _weights_for(base.with_overload())
+        # Overload rows come strictly last, so every earlier mode's
+        # prefix — and hence its pinned plans and digests — survives.
+        assert with_overload[:len(without)] == without
+        assert with_overload[len(without):] == _OP_WEIGHTS_OVERLOAD

@@ -478,6 +478,36 @@ class TestReplyCacheBound:
         assert stats["entries"] == 8
         assert stats["evictions"] == 92
 
+    def test_expired_entries_are_purged_before_live_ones_churn_out(self):
+        from repro.resilience import ReplyCache
+        clock = VirtualClock()
+        cache = ReplyCache(capacity=4, clock=clock)
+        # A live deadline-less entry a client might still retransmit
+        # for, then a burst of short-deadline traffic that would churn
+        # it out under blind insertion-order eviction.
+        cache.store("inv-live", b"keep")
+        for index in range(8):
+            cache.store(f"inv-dead-{index}", b"gone",
+                        expires_at=clock.now + 1.0)
+        assert cache.lookup("inv-live") is None   # capacity churned it
+        clock.advance(5.0)
+        cache.store("inv-live-2", b"keep")
+        # Every expired entry was purged eagerly on this store: past
+        # its deadline a reply can never be legally replayed, so it
+        # must not squat in the capacity window.
+        assert len(cache) == 1
+        assert cache.expired_evictions == 4       # the survivors of churn
+        assert cache.lookup("inv-dead-7") is None
+        assert cache.lookup("inv-live-2") == b"keep"
+        # Fresh short-deadline churn no longer displaces live entries:
+        # each store purges the previous, already-expired burst first.
+        for index in range(20):
+            cache.store(f"inv-burst-{index}", b"gone",
+                        expires_at=clock.now + 0.5)
+            clock.advance(1.0)
+        assert cache.lookup("inv-live-2") == b"keep"
+        assert cache.stats()["expired_evictions"] > 4
+
     def test_evictions_reach_the_domain_report(self):
         world, servers, clients = two_node_world(seed=1)
         world.nucleus("s").reply_cache.capacity = 2
