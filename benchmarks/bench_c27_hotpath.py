@@ -1,0 +1,317 @@
+"""C27 — Hot path: zero-copy NDR, codec plans, and the event wheel.
+
+Claim (section 6.4/7): an ODP platform's transparency machinery must not
+price itself out — marshalling and dispatch overhead is the standing
+argument *against* distribution transparency, so the engineering answer
+is to drive the per-invocation cost of the infrastructure toward the
+cost of the application work it carries.
+
+C27 measures the marshalling hot path rebuilt in this change:
+
+* **Request-marshal pipeline** — the C18-era path built a context dict
+  (``Nucleus.encode_context``), assembled the envelope dict, and walked
+  the whole structure with the generic recursive encoder
+  (``dumps_reference``).  The zero-copy path writes cached plan chunks
+  and live ``InvocationContext`` fields straight into one ``bytearray``
+  (``InvocationPlan.encode_request``) — no intermediate dicts, no
+  chunk-list join, no per-call key sort.  The headline assertion is
+  **≥3x** on the PACKED pipeline; the golden/fuzz layer pins the output
+  byte-identical to the legacy walk.
+* **Codec micro** — raw ``dumps``/``loads`` fast paths vs the retained
+  reference walks, on a representative request envelope.
+* **End-to-end ``repro.check``** — seeds/hour with the full stack vs a
+  reconstructed C18-era marshalling arm (zero-copy off, plan caches
+  off) over the *same seeds*, with run digests asserted byte-identical
+  between arms: the speedup must come from doing the same observable
+  work cheaper, never from doing different work.
+* **C20 configuration** — wall-clock invocation rate of the
+  batched+cached throughput workload with the zero-copy path on vs
+  off.  (The *virtual*-time inv/s series is digest-pinned and identical
+  by construction; the lift is real-seconds processing rate.)
+
+The check harness is not codec-bound — engine layering, the network
+model and tracing dominate once the codec is fast — so the end-to-end
+lift is asserted as a lift, not as the 3x that holds on the marshalling
+pipeline itself; the report prints the honest profile split.
+"""
+
+import cProfile
+import pstats
+import time
+
+from repro.check.explorer import CheckConfig, run_seed
+from repro.comp.invocation import InvocationContext
+from repro.engine.nucleus import Nucleus
+from repro.ndr.formats import PackedFormat, TaggedFormat, set_zero_copy
+from repro.ndr.plancache import InvocationPlan, PlanCache
+
+from benchmarks.workloads import as_report, write_report
+from benchmarks.bench_c20_throughput import _run_throughput
+
+CHECK_SEEDS = 25
+C20_ROUNDS = 8
+
+#: Representative hot invocation: a transfer with credentials, a
+#: transaction id, a federation hop and overload stamps in ``extra``.
+_ARGS = ["acct-001", 250, {"memo": "transfer", "tags": ["a", "b"]}]
+_INV_ID = "cli/app#00042"
+
+
+def _context():
+    return InvocationContext(
+        principal="cli/app", origin_domain="core",
+        transaction_id="tx-17", credentials={"token": "t-abc123"},
+        via_domains=("core", "edge"),
+        extra={"deadline_at": 120.25, "priority": 3})
+
+
+def _plan(fmt):
+    return InvocationPlan(fmt, "capsule-7", "iface:Accounts@3",
+                          "transfer", "invoke", 3, True)
+
+
+def _legacy_request_bytes(fmt, ctx):
+    """The pre-plan marshalling path, step for step: context dict,
+    envelope dict, generic recursive walk."""
+    ctx_obj = Nucleus.encode_context(ctx)
+    return fmt.dumps_reference({
+        "capsule": "capsule-7",
+        "inv": {"args": _ARGS, "ctx": ctx_obj, "epoch": 3,
+                "id": "iface:Accounts@3", "inv_id": _INV_ID,
+                "kind": "invoke", "op": "transfer"}})
+
+
+def _rate_pair_us(fn_a, fn_b, rounds=1500, repeats=6):
+    """Best-of-*repeats* per-call cost for two competing paths, with
+    the timing windows interleaved A/B/A/B so CPU frequency drift and
+    scheduler noise land on both arms alike; the minimum per arm
+    estimates intrinsic cost."""
+    fn_a()
+    fn_b()  # warm both
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return (best_a / rounds * 1e6, best_b / rounds * 1e6)
+
+
+def marshal_micro():
+    """Request-pipeline and raw-codec ratios, per wire format."""
+    ctx = _context()
+    out = {}
+    for fmt, name in ((PackedFormat(), "packed"), (TaggedFormat(),
+                                                   "tagged")):
+        plan = _plan(fmt)
+        wire = _legacy_request_bytes(fmt, ctx)
+        assert plan.encode_request(_ARGS, ctx, _INV_ID) == wire
+        legacy_us, plan_us = _rate_pair_us(
+            lambda: _legacy_request_bytes(fmt, ctx),
+            lambda: plan.encode_request(_ARGS, ctx, _INV_ID))
+        obj = fmt.loads(wire)
+        enc_ref, enc_fast = _rate_pair_us(
+            lambda: fmt.dumps_reference(obj), lambda: fmt.dumps(obj))
+        dec_ref, dec_fast = _rate_pair_us(
+            lambda: fmt.loads_reference(wire), lambda: fmt.loads(wire))
+        out[name] = {
+            "pipeline_legacy_us": legacy_us,
+            "pipeline_plan_us": plan_us,
+            "pipeline_gain": legacy_us / plan_us,
+            "enc_gain": enc_ref / enc_fast,
+            "dec_gain": dec_ref / dec_fast,
+        }
+    return out
+
+
+def _sweep(seeds):
+    config = CheckConfig()
+    digests = []
+    t0 = time.perf_counter()
+    for seed in range(seeds):
+        digests.append(run_seed(seed, config).digest)
+    return (time.perf_counter() - t0) / seeds * 1000.0, digests
+
+
+def _with_stack(zero_copy, fn):
+    """Run *fn* under a stack arm and restore the flags afterwards."""
+    previous = set_zero_copy(zero_copy)
+    saved_default = PlanCache.default_enabled
+    PlanCache.default_enabled = zero_copy
+    try:
+        return fn()
+    finally:
+        set_zero_copy(previous)
+        PlanCache.default_enabled = saved_default
+
+
+def check_ab(seeds=CHECK_SEEDS):
+    """End-to-end seeds/hour: full stack vs the C18 marshalling arm."""
+    run_seed(0, CheckConfig())  # warm imports/caches outside the timer
+    # Best-of-two sweeps per arm: a single stray scheduling hiccup on a
+    # shared runner otherwise dominates a 10-seed sample.
+    fast_ms, fast_digests = _with_stack(True, lambda: _sweep(seeds))
+    fast_ms = min(fast_ms, _with_stack(True, lambda: _sweep(seeds))[0])
+    legacy_ms, legacy_digests = _with_stack(False, lambda: _sweep(seeds))
+    legacy_ms = min(legacy_ms,
+                    _with_stack(False, lambda: _sweep(seeds))[0])
+    assert fast_digests == legacy_digests  # same observable runs
+    return {
+        "seeds": seeds,
+        "fast_ms_per_seed": fast_ms,
+        "legacy_ms_per_seed": legacy_ms,
+        "fast_seeds_hour": 3600_000.0 / fast_ms,
+        "legacy_seeds_hour": 3600_000.0 / legacy_ms,
+        "gain": legacy_ms / fast_ms,
+    }
+
+
+def c20_lift(rounds=C20_ROUNDS):
+    """Wall-clock invocation rate of the C20 batched+cached workload."""
+    def wall():
+        result = _run_throughput(8, "batched+cached")  # warm
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            result = _run_throughput(8, "batched+cached")
+            best = min(best, time.perf_counter() - t0)
+        return 8 * 50 / best, result["inv_s"]
+
+    fast_inv_s, fast_virtual = _with_stack(True, wall)
+    legacy_inv_s, legacy_virtual = _with_stack(False, wall)
+    assert fast_virtual == legacy_virtual  # virtual series is pinned
+    return {
+        "fast_wall_inv_s": fast_inv_s,
+        "legacy_wall_inv_s": legacy_inv_s,
+        "lift": fast_inv_s / legacy_inv_s,
+        "virtual_inv_s": fast_virtual,
+    }
+
+
+_CODEC_FILES = ("formats.py", "plancache.py", "sigcodec.py")
+
+
+def profile_split(seeds=8):
+    """tottime split of a check sweep: codec files vs everything else."""
+    def sweep():
+        profile = cProfile.Profile()
+        profile.enable()
+        for seed in range(seeds):
+            run_seed(seed, CheckConfig())
+        profile.disable()
+        stats = pstats.Stats(profile)
+        total = codec = 0.0
+        for (filename, _, _), row in stats.stats.items():
+            total += row[2]
+            if filename.endswith(_CODEC_FILES):
+                codec += row[2]
+        return {"total_s": total, "codec_s": codec,
+                "codec_share": codec / total}
+
+    run_seed(0, CheckConfig())  # warm
+    return {"fast": _with_stack(True, sweep),
+            "legacy": _with_stack(False, sweep)}
+
+
+# -- assertions ---------------------------------------------------------------
+
+
+def test_c27_request_pipeline_gain():
+    """The headline bar: ≥3x on the packed request-marshal pipeline."""
+    micro = marshal_micro()
+    assert micro["packed"]["pipeline_gain"] >= 3.0
+    assert micro["tagged"]["pipeline_gain"] >= 2.0
+
+
+def test_c27_codec_fast_paths_beat_reference():
+    """Regression guard: the fast paths must stay ahead of the
+    reference walks (which remain the executable spec)."""
+    micro = marshal_micro()
+    assert micro["packed"]["enc_gain"] >= 1.2
+    assert micro["packed"]["dec_gain"] >= 1.2
+    assert micro["tagged"]["enc_gain"] >= 1.1
+    assert micro["tagged"]["dec_gain"] >= 1.0
+
+
+def test_c27_check_digests_and_throughput():
+    """Both stacks replay identical runs; the fast stack must at least
+    never be slower (the honest ~1.15x lift is in the report, measured
+    over the full sweep)."""
+    ab = check_ab(seeds=10)
+    assert ab["gain"] >= 0.95
+
+
+def test_c27_c20_wall_clock_lift():
+    lift = c20_lift(rounds=3)
+    assert lift["lift"] >= 1.05
+
+
+def test_c27_hotpath_seed(benchmark):
+    benchmark.group = "C27 hot path"
+    config = CheckConfig()
+    run_seed(0, config)
+    benchmark(lambda: run_seed(3, config))
+
+
+def test_c27_report(benchmark):
+    as_report(benchmark, _report)
+
+
+def _report():
+    micro = marshal_micro()
+    ab = check_ab()
+    lift = c20_lift()
+    split = profile_split()
+
+    rows = ["request-marshal pipeline (context dict + envelope walk vs "
+            "zero-copy plan):", ""]
+    rows.append(f"{'format':>8} {'legacy us':>10} {'plan us':>9} "
+                f"{'gain':>7} {'enc':>6} {'dec':>6}")
+    for name in ("packed", "tagged"):
+        m = micro[name]
+        rows.append(f"{name:>8} {m['pipeline_legacy_us']:>10.1f} "
+                    f"{m['pipeline_plan_us']:>9.1f} "
+                    f"{m['pipeline_gain']:>6.2f}x "
+                    f"{m['enc_gain']:>5.2f}x {m['dec_gain']:>5.2f}x")
+    assert micro["packed"]["pipeline_gain"] >= 3.0
+
+    rows.append("")
+    rows.append(f"repro.check end-to-end over {ab['seeds']} seeds, "
+                f"digests byte-identical between arms:")
+    rows.append(f"  C18 marshalling arm {ab['legacy_ms_per_seed']:.2f} "
+                f"ms/seed ({ab['legacy_seeds_hour']:,.0f} seeds/hour)")
+    rows.append(f"  zero-copy stack     {ab['fast_ms_per_seed']:.2f} "
+                f"ms/seed ({ab['fast_seeds_hour']:,.0f} seeds/hour)  "
+                f"{ab['gain']:.2f}x")
+
+    rows.append("")
+    rows.append(f"C20 batched+cached, wall-clock invocation rate "
+                f"(virtual series pinned at "
+                f"{lift['virtual_inv_s']:.0f} inv/s):")
+    rows.append(f"  legacy {lift['legacy_wall_inv_s']:,.0f} inv/s  ->  "
+                f"zero-copy {lift['fast_wall_inv_s']:,.0f} inv/s  "
+                f"({lift['lift']:.2f}x)")
+
+    rows.append("")
+    rows.append("profile split of a check sweep (tottime):")
+    for arm in ("legacy", "fast"):
+        part = split[arm]
+        rows.append(f"  {arm:>6}: codec {part['codec_s'] * 1000:6.1f} ms "
+                    f"of {part['total_s'] * 1000:6.1f} ms "
+                    f"({part['codec_share'] * 100:.0f}% of runtime)")
+    rows.append("")
+    rows.append("the check harness is engine/network-bound once the "
+                "codec is fast; the 3x holds on the marshalling "
+                "pipeline itself and every digest stays byte-identical")
+
+    write_report("C27", "hot path: zero-copy NDR + event wheel", rows)
+
+
+if __name__ == "__main__":
+    _report()
+    with open("benchmarks/out/C27.txt") as handle:
+        print(handle.read())

@@ -83,6 +83,12 @@ def _parse(argv: Optional[List[str]]) -> argparse.Namespace:
                              "that expired work never executes, retry "
                              "volume stays within budget, and shedding "
                              "never inverts priority")
+    parser.add_argument("--min-seeds-hour", type=float, default=None,
+                        metavar="RATE",
+                        help="fail the run if the sweep throughput "
+                             "falls below RATE seeds/hour (CI perf "
+                             "floor; the timer covers the sweep loop "
+                             "only)")
     parser.add_argument("--shrink", action="store_true",
                         help="shrink the first failing plan and print "
                              "a reproduction script")
@@ -162,6 +168,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     rate = args.seeds / elapsed * 3600.0 if elapsed > 0 else 0.0
     print(f"{args.seeds - len(failing_seeds)}/{args.seeds} seeds clean "
           f"in {elapsed:.1f}s ({rate:.0f} seeds/hour)")
+    rate_ok = True
+    if args.min_seeds_hour is not None and rate < args.min_seeds_hour:
+        rate_ok = False
+        print(f"throughput floor missed: {rate:.0f} < "
+              f"{args.min_seeds_hour:.0f} seeds/hour")
 
     if failing_seeds and args.shrink:
         seed = failing_seeds[0]
@@ -172,7 +183,7 @@ def main(argv: Optional[List[str]] = None) -> int:
               "---------------------------------------")
         print(repro_snippet(report.plan, config))
 
-    return 0 if deterministic and not failing_seeds else 1
+    return 0 if deterministic and rate_ok and not failing_seeds else 1
 
 
 if __name__ == "__main__":

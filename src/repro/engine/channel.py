@@ -40,7 +40,7 @@ from repro.errors import (
     ServerBusyError,
 )
 from repro.errors import RetryBudgetExhaustedError
-from repro.ndr.formats import get_format
+from repro.ndr.formats import get_format, zero_copy_enabled
 from repro.ndr.plancache import PlanCache
 from repro.overload.deadline import (
     DEADLINE_KEY,
@@ -280,7 +280,6 @@ class TransportLayer:
         wire = get_format(path.wire_format)
         marshaller = self.nucleus.marshaller_for(self.capsule)
         args_obj = marshaller.marshal_args(invocation.args)
-        ctx_obj = Nucleus.encode_context(invocation.context)
         # The invocation id is what makes server-side dedup possible;
         # the legacy transport omits it and is therefore at-least-once.
         has_inv_id = bool(self.resilience_enabled
@@ -290,10 +289,17 @@ class TransportLayer:
                 wire, path.capsule, invocation.interface_id,
                 invocation.operation, invocation.kind.value,
                 invocation.epoch, has_inv_id)
+            if zero_copy_enabled():
+                # One-buffer assembly; the context is written straight
+                # from its fields, skipping encode_context's dict.
+                return plan.encode_request(
+                    args_obj, invocation.context,
+                    invocation.invocation_id if has_inv_id else None)
             member = plan.encode_member(
-                args_obj, ctx_obj,
+                args_obj, Nucleus.encode_context(invocation.context),
                 invocation.invocation_id if has_inv_id else None)
             return plan.encode_single(member)
+        ctx_obj = Nucleus.encode_context(invocation.context)
         envelope = {
             "capsule": path.capsule,
             "inv": {

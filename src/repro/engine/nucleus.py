@@ -83,6 +83,8 @@ class Nucleus:
         #: Codec plan caches opened against this node (transports and
         #: batchers register here) — management visibility only.
         self.plan_caches = []
+        #: Per-capsule marshaller reuse (see :meth:`marshaller_for`).
+        self._marshallers = {}
         #: BatchClients issuing from this node, for the same reason.
         self.batchers = []
         #: TransportLayers opened by this node's capsules, likewise.
@@ -145,7 +147,14 @@ class Nucleus:
             for protocol in protocols)
 
     def marshaller_for(self, capsule: Capsule) -> Marshaller:
-        return Marshaller(exporter=capsule.implicit_export)
+        # One marshaller per capsule for the nucleus' own hot paths;
+        # Marshaller state is just the exporter hook and two counters,
+        # so reuse is safe and saves an allocation per request leg.
+        marshaller = self._marshallers.get(capsule)
+        if marshaller is None:
+            marshaller = Marshaller(exporter=capsule.implicit_export)
+            self._marshallers[capsule] = marshaller
+        return marshaller
 
     # -- export-time hooks -------------------------------------------------------
 
@@ -167,13 +176,18 @@ class Nucleus:
                            obj: Dict[str, Any]) -> Invocation:
         marshaller = self.marshaller_for(capsule)
         ctx_obj = obj.get("ctx", {})
+        # The decoded tree is freshly built by ``loads`` and owned by
+        # this invocation alone, so its dicts are adopted as-is — no
+        # defensive copies on the decode path.
+        credentials = ctx_obj.get("credentials")
+        extra = ctx_obj.get("extra")
         context = InvocationContext(
             principal=ctx_obj.get("principal"),
-            credentials=dict(ctx_obj.get("credentials", {})),
+            credentials={} if credentials is None else credentials,
             transaction_id=ctx_obj.get("transaction_id"),
             origin_domain=ctx_obj.get("origin_domain"),
             via_domains=tuple(ctx_obj.get("via_domains", ())),
-            extra=dict(ctx_obj.get("extra", {})),
+            extra={} if extra is None else extra,
         )
         return Invocation(
             interface_id=obj["id"],

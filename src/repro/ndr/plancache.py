@@ -33,7 +33,8 @@ from __future__ import annotations
 import struct
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.ndr.formats import PackedFormat, WireFormat
+from repro.ndr.formats import (_PACK_U, PackedFormat, WireFormat,
+                               _packed_write, _tagged_write)
 
 
 def _chunk(fmt: WireFormat, *objs: Any) -> bytes:
@@ -42,6 +43,15 @@ def _chunk(fmt: WireFormat, *objs: Any) -> bytes:
     for obj in objs:
         fmt._write(obj, out)
     return b"".join(out)
+
+
+#: Context dict keys in the sorted order the wire formats emit them
+#: (``trace`` slots between ``principal`` and ``transaction_id`` when
+#: present).  ``InvocationPlan.encode_request`` writes the context
+#: straight from the ``InvocationContext`` fields in this order — no
+#: intermediate dict, no copy, no per-call key sort.
+_CTX_KEYS = ("credentials", "extra", "origin_domain", "principal",
+             "trace", "transaction_id", "via_domains")
 
 
 class InvocationPlan:
@@ -56,7 +66,10 @@ class InvocationPlan:
 
     __slots__ = ("fmt", "packed", "entries", "pre_args", "pre_ctx",
                  "pre_inv_id", "tail", "has_inv_id", "_packed_header",
-                 "_single_prefix", "_capsule_kv", "_inv_key")
+                 "_single_prefix", "_capsule_kv", "_inv_key",
+                 "_req_head", "_mem_head", "_ctx_seg6", "_ctx_seg7",
+                 "_k_cred", "_k_extra", "_k_origin", "_k_principal",
+                 "_k_trace", "_k_tx", "_k_via", "_tagged_mid")
 
     def __init__(self, fmt: WireFormat, capsule: str, interface_id: str,
                  operation: str, kind: str, epoch: int,
@@ -84,6 +97,25 @@ class InvocationPlan:
                                    + self._capsule_kv + self._inv_key)
         else:
             self._single_prefix = b""
+        (self._k_cred, self._k_extra, self._k_origin, self._k_principal,
+         self._k_trace, self._k_tx, self._k_via) = (
+            _chunk(fmt, key) for key in _CTX_KEYS)
+        # Constant byte runs between the variable holes, merged into
+        # single precomputed segments so the hot path appends a handful
+        # of slices instead of re-joining chunk after chunk per call.
+        if self.packed:
+            self._req_head = (self._single_prefix + self._packed_header
+                              + self.pre_args)
+            self._mem_head = self._packed_header + self.pre_args
+            self._ctx_seg7 = (self.pre_ctx + b"d" + _PACK_U(7)
+                              + self._k_cred)
+            self._ctx_seg6 = (self.pre_ctx + b"d" + _PACK_U(6)
+                              + self._k_cred)
+            self._tagged_mid = b""
+        else:
+            self._req_head = self._mem_head = b""
+            self._ctx_seg6 = self._ctx_seg7 = b""
+            self._tagged_mid = self._capsule_kv + self._inv_key
 
     def encode_member(self, args_obj: List[Any], ctx_obj: Dict[str, Any],
                       inv_id: Optional[str]) -> bytes:
@@ -110,6 +142,168 @@ class InvocationPlan:
         return (self.fmt._MAGIC
                 + f"map[2]#{len(body)}#".encode("ascii") + body)
 
+    # -- zero-copy assembly --------------------------------------------------
+    #
+    # The context is written straight from ``InvocationContext`` fields
+    # in pinned sorted-key order — byte-identical to encoding the dict
+    # ``Nucleus.encode_context`` would have built, without building it
+    # (no dict copies, no per-call key sort).  String-typed fields are
+    # framed inline; anything else falls through to the format writer.
+
+    def _packed_body(self, buf: bytearray, args_obj: List[Any],
+                     context: Any, inv_id: Optional[str]) -> None:
+        """Everything after ``_req_head``/``_mem_head`` for PACKED."""
+        fmt = self.fmt
+        if type(args_obj) is list:
+            # Args are a list on every real call path; write the
+            # container header inline and dispatch only per item.
+            buf += b"l"
+            buf += _PACK_U(len(args_obj))
+            for item in args_obj:
+                if type(item) is str:
+                    raw = item.encode("utf-8")
+                    buf += b"s"
+                    buf += _PACK_U(len(raw))
+                    buf += raw
+                else:
+                    _packed_write(item, buf, fmt)
+        else:
+            _packed_write(args_obj, buf, fmt)
+        trace = context.trace
+        wire_trace = None
+        if trace is not None and trace.sampled and trace.trace_id:
+            wire_trace = trace.to_wire()
+            buf += self._ctx_seg7
+        else:
+            buf += self._ctx_seg6
+        _packed_write(context.credentials, buf, fmt)
+        buf += self._k_extra
+        _packed_write(context.extra, buf, fmt)
+        buf += self._k_origin
+        value = context.origin_domain
+        if type(value) is str:
+            raw = value.encode("utf-8")
+            buf += b"s"
+            buf += _PACK_U(len(raw))
+            buf += raw
+        else:
+            _packed_write(value, buf, fmt)
+        buf += self._k_principal
+        value = context.principal
+        if type(value) is str:
+            raw = value.encode("utf-8")
+            buf += b"s"
+            buf += _PACK_U(len(raw))
+            buf += raw
+        else:
+            _packed_write(value, buf, fmt)
+        if wire_trace is not None:
+            buf += self._k_trace
+            raw = wire_trace.encode("utf-8")
+            buf += b"s"
+            buf += _PACK_U(len(raw))
+            buf += raw
+        buf += self._k_tx
+        value = context.transaction_id
+        if type(value) is str:
+            raw = value.encode("utf-8")
+            buf += b"s"
+            buf += _PACK_U(len(raw))
+            buf += raw
+        elif value is None:
+            buf += b"N"
+        else:
+            _packed_write(value, buf, fmt)
+        buf += self._k_via
+        _packed_write(context.via_domains, buf, fmt)
+        buf += self.pre_inv_id
+        if self.has_inv_id:
+            raw = inv_id.encode("utf-8")
+            buf += b"s"
+            buf += _PACK_U(len(raw))
+            buf += raw
+        buf += self.tail
+
+    def _tagged_body(self, buf: bytearray, args_obj: List[Any],
+                     context: Any, inv_id: Optional[str]) -> None:
+        """The inv-dict body for TAGGED (headers spliced by callers)."""
+        fmt = self.fmt
+        buf += self.pre_args
+        _tagged_write(args_obj, buf, fmt)
+        buf += self.pre_ctx
+        trace = context.trace
+        wire_trace = None
+        if trace is not None and trace.sampled and trace.trace_id:
+            wire_trace = trace.to_wire()
+        start = len(buf)
+        buf += self._k_cred
+        _tagged_write(context.credentials, buf, fmt)
+        buf += self._k_extra
+        _tagged_write(context.extra, buf, fmt)
+        buf += self._k_origin
+        value = context.origin_domain
+        if type(value) is str:
+            raw = value.encode("utf-8")
+            buf += b"text#%d#" % len(raw)
+            buf += raw
+        else:
+            _tagged_write(value, buf, fmt)
+        buf += self._k_principal
+        value = context.principal
+        if type(value) is str:
+            raw = value.encode("utf-8")
+            buf += b"text#%d#" % len(raw)
+            buf += raw
+        else:
+            _tagged_write(value, buf, fmt)
+        if wire_trace is not None:
+            buf += self._k_trace
+            raw = wire_trace.encode("utf-8")
+            buf += b"text#%d#" % len(raw)
+            buf += raw
+        buf += self._k_tx
+        _tagged_write(context.transaction_id, buf, fmt)
+        buf += self._k_via
+        _tagged_write(context.via_domains, buf, fmt)
+        buf[start:start] = b"map[%d]#%d#" % (
+            7 if wire_trace is not None else 6, len(buf) - start)
+        buf += self.pre_inv_id
+        if self.has_inv_id:
+            raw = inv_id.encode("utf-8")
+            buf += b"text#%d#" % len(raw)
+            buf += raw
+        buf += self.tail
+
+    def encode_request(self, args_obj: List[Any], context: Any,
+                       inv_id: Optional[str]) -> bytes:
+        """One-buffer single-request assembly: cached chunks spliced
+        around the three variable holes, with the context written
+        directly from its fields.  Byte-identical to
+        ``encode_single(encode_member(...))`` over
+        ``Nucleus.encode_context``'s dict — the golden tests pin it."""
+        if self.packed:
+            buf = bytearray(self._req_head)
+            self._packed_body(buf, args_obj, context, inv_id)
+            return bytes(buf)
+        buf = bytearray()
+        self._tagged_body(buf, args_obj, context, inv_id)
+        buf[0:0] = (self._tagged_mid
+                    + b"map[%d]#%d#" % (self.entries, len(buf)))
+        return self.fmt._MAGIC + b"map[2]#%d#" % len(buf) + buf
+
+    def encode_member_zero(self, args_obj: List[Any], context: Any,
+                           inv_id: Optional[str]) -> bytes:
+        """Zero-copy member bytes (batch building block) — the same
+        output as ``encode_member`` fed ``Nucleus.encode_context``."""
+        if self.packed:
+            buf = bytearray(self._mem_head)
+            self._packed_body(buf, args_obj, context, inv_id)
+            return bytes(buf)
+        buf = bytearray()
+        self._tagged_body(buf, args_obj, context, inv_id)
+        buf[0:0] = b"map[%d]#%d#" % (self.entries, len(buf))
+        return bytes(buf)
+
 
 def encode_batch(fmt: WireFormat, capsule: str,
                  members: List[bytes]) -> bytes:
@@ -128,11 +322,25 @@ def encode_batch(fmt: WireFormat, capsule: str,
     return fmt._MAGIC + f"map[2]#{len(body)}#".encode("ascii") + body
 
 
+#: Process-wide plan intern table.  An :class:`InvocationPlan` is a pure
+#: value of its key — immutable once built — so identical shapes are
+#: shared across channels *and* across worlds (the check harness builds
+#: a fresh world per seed; without interning every seed re-derives the
+#: same few dozen plans).  Per-cache hit/miss counters and invalidation
+#: stay per-:class:`PlanCache`; interning only removes the rebuild cost.
+_INTERNED: Dict[Tuple, InvocationPlan] = {}
+
+
 class PlanCache:
     """Per-channel (or per-batcher) store of invocation plans."""
 
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
+    #: Default for caches constructed without an explicit ``enabled``;
+    #: benchmarks flip this to measure the legacy (plan-free) stack.
+    default_enabled = True
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        self.enabled = (PlanCache.default_enabled if enabled is None
+                        else enabled)
         self._plans: Dict[Tuple, InvocationPlan] = {}
         self.hits = 0
         self.misses = 0
@@ -146,8 +354,11 @@ class PlanCache:
         plan = self._plans.get(key)
         if plan is None:
             self.misses += 1
-            plan = InvocationPlan(fmt, capsule, interface_id, operation,
-                                  kind, epoch, has_inv_id)
+            plan = _INTERNED.get(key)
+            if plan is None:
+                plan = InvocationPlan(fmt, capsule, interface_id,
+                                      operation, kind, epoch, has_inv_id)
+                _INTERNED[key] = plan
             self._plans[key] = plan
         else:
             self.hits += 1

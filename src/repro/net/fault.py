@@ -296,8 +296,13 @@ class FaultPlan:
         self._lose_next.clear()
 
     def _sync(self) -> None:
-        if self._schedule is not None and self._clock is not None:
-            self._schedule.sync(self._clock.now, self)
+        schedule = self._schedule
+        if schedule is not None and self._clock is not None:
+            # One float compare on the hot path: only enter the full
+            # sync when the clock has actually crossed the next
+            # unapplied window boundary.
+            if self._clock._now >= schedule._next_at:
+                schedule.sync(self._clock._now, self)
 
     # -- the verdict ---------------------------------------------------------
 
@@ -432,6 +437,10 @@ class FaultSchedule:
         self._transitions: Optional[
             List[Tuple[float, int, Callable[[FaultPlan], None]]]] = None
         self._applied = 0
+        #: Virtual time of the next unapplied transition — ``-inf``
+        #: until first sync (forces compilation), ``inf`` when drained.
+        #: Lets the per-verdict sync check become one float compare.
+        self._next_at = float("-inf")
         #: Window transitions applied so far (enter + exit).
         self.activations = 0
 
@@ -586,6 +595,10 @@ class FaultSchedule:
             self.activations += 1
             applied += 1
             action(plan)
+        if self._applied < len(self._transitions):
+            self._next_at = self._transitions[self._applied][0]
+        else:
+            self._next_at = float("inf")
         return applied
 
     def install(self, scheduler, plan: FaultPlan) -> None:

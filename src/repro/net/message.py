@@ -8,25 +8,44 @@ wire formats really cannot exchange structured data without translation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 
-@dataclass
 class NetMessage:
-    """One datagram in flight between two nodes."""
+    """One datagram in flight between two nodes.
 
-    source: str
-    destination: str
-    payload: bytes
-    kind: str = "data"            # "data" | "control" | "stream"
-    headers: Dict[str, str] = field(default_factory=dict)
-    sent_at: float = 0.0
+    A ``__slots__`` record rather than a dataclass: one of these is
+    allocated per network leg, so its footprint sits on the hot path.
+    """
+
+    __slots__ = ("source", "destination", "payload", "kind", "headers",
+                 "sent_at")
+
+    def __init__(self, source: str, destination: str, payload: bytes,
+                 kind: str = "data",
+                 headers: Optional[Dict[str, str]] = None,
+                 sent_at: float = 0.0) -> None:
+        self.source = source
+        self.destination = destination
+        self.payload = payload
+        self.kind = kind              # "data" | "control" | "stream"
+        self.headers = {} if headers is None else headers
+        self.sent_at = sent_at
 
     @property
     def size(self) -> int:
         """Payload size in bytes (drives serialisation/transit cost)."""
         return len(self.payload)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NetMessage):
+            return NotImplemented
+        return (self.source == other.source
+                and self.destination == other.destination
+                and self.payload == other.payload
+                and self.kind == other.kind
+                and self.headers == other.headers
+                and self.sent_at == other.sent_at)
 
     def __repr__(self) -> str:
         return (f"NetMessage({self.source}->{self.destination}, "

@@ -55,7 +55,7 @@ from repro.errors import (
     RetryBudgetExhaustedError,
     ServerBusyError,
 )
-from repro.ndr.formats import get_format
+from repro.ndr.formats import get_format, zero_copy_enabled
 from repro.ndr.plancache import PlanCache, encode_batch
 from repro.overload.deadline import (
     DEADLINE_KEY,
@@ -245,13 +245,17 @@ class BatchClient:
     def _encode_member(self, fmt, capsule_name: str, entry: _Pending,
                        marshaller) -> bytes:
         args_obj = marshaller.marshal_args(entry.args)
-        ctx_obj = Nucleus.encode_context(entry.context)
         if self.plan_cache.enabled:
             plan = self.plan_cache.plan_for(
                 fmt, capsule_name, entry.ref.interface_id,
                 entry.operation, "interrogation", entry.ref.epoch, True)
-            return plan.encode_member(args_obj, ctx_obj,
+            if zero_copy_enabled():
+                return plan.encode_member_zero(args_obj, entry.context,
+                                               entry.invocation_id)
+            return plan.encode_member(args_obj,
+                                      Nucleus.encode_context(entry.context),
                                       entry.invocation_id)
+        ctx_obj = Nucleus.encode_context(entry.context)
         inv = {
             "id": entry.ref.interface_id,
             "op": entry.operation,

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 
 class VirtualClock:
-    """A monotonically increasing virtual clock (milliseconds)."""
+    """A monotonically increasing virtual clock (milliseconds).
+
+    ``__slots__`` because every scheduler event batch and every message
+    transit touches the clock: the instances are tiny and hot.
+    """
+
+    __slots__ = ("_now",)
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)

@@ -5,39 +5,58 @@ heartbeats, lease expiry, GC sweeps — is expressed as events on this queue.
 ``run_until_idle`` drains the queue (advancing the virtual clock to each
 event's due time), which is how tests and benchmarks let in-flight protocol
 activity settle.
+
+The queue is an event wheel over a plain tuple heap: entries are
+``(time, seq, event)`` triples so ordering never compares (or even
+touches) the event objects, :class:`Event` is a ``__slots__`` record
+with O(1) cancellation (a flag checked at fire time — nothing is
+removed from the heap), and the drain loops fire same-instant batches
+with a single clock advance.  All observable semantics — same-instant
+FIFO by schedule order, past events clamped to *now*, cancelled events
+never firing, repeating events re-arming after each firing — are
+pinned by ``tests/test_sim_clock_scheduler.py``.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Callable, List, Optional, Tuple
 
 from repro.sim.clock import VirtualClock
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Ordered by (time, sequence) for determinism."""
+    """A scheduled callback handle.  Cancellation is O(1): the flag is
+    honoured when the wheel reaches the entry."""
 
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "action", "label", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 action: Callable[[], None], label: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = False
 
     def cancel(self) -> None:
         self.cancelled = True
 
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return (f"Event(t={self.time}, seq={self.seq}, "
+                f"label={self.label!r}{state})")
+
 
 class Scheduler:
-    """An event queue bound to a :class:`VirtualClock`."""
+    """An event wheel bound to a :class:`VirtualClock`."""
+
+    __slots__ = ("clock", "_queue", "_seq", "events_run")
 
     def __init__(self, clock: Optional[VirtualClock] = None) -> None:
         self.clock = clock if clock is not None else VirtualClock()
-        self._queue: List[Event] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
         self.events_run = 0
 
     @property
@@ -49,8 +68,10 @@ class Scheduler:
         """Schedule *action* at absolute virtual time *when*."""
         if when < self.clock.now:
             when = self.clock.now
-        event = Event(when, next(self._seq), action, label)
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, seq, action, label)
+        heappush(self._queue, (when, seq, event))
         return event
 
     def after(self, delay: float, action: Callable[[], None],
@@ -67,8 +88,9 @@ class Scheduler:
         """
         if interval <= 0:
             raise ValueError("interval must be positive")
-        handle = Event(self.clock.now + interval, next(self._seq),
-                       lambda: None, label)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = Event(self.clock.now + interval, seq, lambda: None, label)
 
         def fire() -> None:
             if handle.cancelled:
@@ -78,20 +100,22 @@ class Scheduler:
                 self.after(interval, fire, label)
 
         handle.action = fire
-        heapq.heappush(self._queue, handle)
+        heappush(self._queue, (handle.time, seq, handle))
         return handle
 
     def pending(self) -> int:
         """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return sum(1 for _, _, event in self._queue
+                   if not event.cancelled)
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            when, _, event = heappop(queue)
             if event.cancelled:
                 continue
-            self.clock.advance_to(event.time)
+            self.clock.advance_to(when)
             self.events_run += 1
             event.action()
             return True
@@ -99,28 +123,50 @@ class Scheduler:
 
     def run_until_idle(self, max_events: int = 1_000_000) -> int:
         """Drain the queue.  Returns the number of events run."""
+        queue = self._queue
+        advance_to = self.clock.advance_to
         count = 0
-        while self.step():
-            count += 1
-            if count > max_events:
-                raise RuntimeError(
-                    f"scheduler did not go idle within {max_events} events; "
-                    f"possible event loop")
+        while queue:
+            when, _, event = heappop(queue)
+            if event.cancelled:
+                continue
+            # One clock advance covers the whole same-instant batch.
+            advance_to(when)
+            while True:
+                self.events_run += 1
+                event.action()
+                count += 1
+                if count > max_events:
+                    raise RuntimeError(
+                        f"scheduler did not go idle within {max_events} "
+                        f"events; possible event loop")
+                event = None
+                while queue and queue[0][0] == when:
+                    _, _, peer = heappop(queue)
+                    if not peer.cancelled:
+                        event = peer
+                        break
+                if event is None:
+                    break
         return count
 
     def run_until(self, deadline: float, max_events: int = 1_000_000) -> int:
         """Run events with time <= deadline, then set the clock there."""
+        queue = self._queue
+        advance_to = self.clock.advance_to
         count = 0
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if event.time > deadline:
+        while queue:
+            when = queue[0][0]
+            if when > deadline:
                 break
-            self.step()
+            _, _, event = heappop(queue)
+            if event.cancelled:
+                continue
+            advance_to(when)
+            self.events_run += 1
+            event.action()
             count += 1
             if count > max_events:
                 raise RuntimeError("run_until exceeded max_events")
-        self.clock.advance_to(deadline)
+        advance_to(deadline)
         return count

@@ -328,3 +328,77 @@ def test_overload_mode_plan_is_deterministic():
     assert sum(g["expired_post_queue"]
                for g in overload["gates"].values()) > 0
     assert overload["budgets"]["first_attempts"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Full-mode digest matrix: the absolute run digests of every explorer
+# mode are pinned here.  A hot-path refactor (zero-copy codec, event
+# wheel, plan splicing) must reproduce each of these byte-for-byte —
+# any drift means observable behaviour changed, not just speed.
+# Regenerate ONLY for a deliberate, versioned semantic change:
+#   PYTHONPATH=src python - <<'PY'
+#   from repro.check.explorer import CheckConfig, run_seed
+#   for name, cfg in {
+#           "default": CheckConfig(),
+#           "batching": CheckConfig().with_batching(),
+#           "shards": CheckConfig().with_shards(),
+#           "leases": CheckConfig().with_leases(),
+#           "overload": CheckConfig().with_overload(),
+#           "partitions": CheckConfig().with_partitions(),
+#           "supervisor": CheckConfig().with_supervisor()}.items():
+#       for seed in (0, 5):
+#           print(name, seed, run_seed(seed, cfg).digest)
+#   PY
+# ---------------------------------------------------------------------------
+
+MODE_DIGESTS = {
+    ("default", 0):
+        "8ae9651b8dbb4ce40660944a4bd914c6ce3ec99c1d5968abefbeb3e8edf7fd1c",
+    ("default", 5):
+        "1804e2affad79d9689c5ce998cc4bc8b19f769a506de32ab86f59ee57b895a86",
+    ("batching", 0):
+        "ac2b24ab85f3380a10b81d8df575030dc707998bd458c6ee1d8d3be3c4085979",
+    ("batching", 5):
+        "55177db98b9cbd01e523fadc0104624823c49449f054aaf26bb0031e3343a4e3",
+    ("shards", 0):
+        "b985298c3a165c11cb88bc56f1b88c9ac997c6b0dc99a9c459751e267aae6294",
+    ("shards", 5):
+        "8f490e6c75fb9295098382932c668b66c740ac7f04771923492ef578b44fe06c",
+    ("leases", 0):
+        "1938f54fede81f0d78cf4eaf816fb06eea2bb9114b70a2cc459b015d82793a2a",
+    ("leases", 5):
+        "5d2a8f00a0f035330fe68666af5da3e14fe9d07d8bf3c4d8ea7a1c3036f4101a",
+    ("overload", 0):
+        "a7eea403221b145405a99a6acfe015b367f71888652409992bd2bcde6b3874d3",
+    ("overload", 5):
+        "38fff332e1cd0a900d6d308606468d13c1f17d4d027081b454b2bee22592ea1f",
+    ("partitions", 0):
+        "5a318e0077ab0a04b87088db1859e414e71120a57e0867eb0a9c4d079b19c605",
+    ("partitions", 5):
+        "b82fc3ee8e23e9d8f28090ae601e3a05f3792727c5ed506597fa8f06d4b07ff4",
+    ("supervisor", 0):
+        "4b194f6f3950075a8b01379907fc6e47b9cd67bc9e39d7a61140ae0cc34e1b06",
+    ("supervisor", 5):
+        "575d7cf4219556d638dab66952bc8768899e95195217e0ab206679d69c1b2ba5",
+}
+
+_MODE_CONFIGS = {
+    "default": lambda: CheckConfig(),
+    "batching": lambda: CheckConfig().with_batching(),
+    "shards": lambda: CheckConfig().with_shards(),
+    "leases": lambda: CheckConfig().with_leases(),
+    "overload": lambda: CheckConfig().with_overload(),
+    "partitions": lambda: CheckConfig().with_partitions(),
+    "supervisor": lambda: CheckConfig().with_supervisor(),
+}
+
+
+def test_mode_digest_matrix_is_pinned():
+    from repro.check.explorer import run_seed
+
+    for (mode, seed), expected in MODE_DIGESTS.items():
+        result = run_seed(seed, _MODE_CONFIGS[mode]())
+        assert result.digest == expected, (
+            f"{mode} mode seed {seed} digest drifted — the platform's "
+            f"observable behaviour changed, not just its speed")
+        assert run_all(result) == [], (mode, seed)

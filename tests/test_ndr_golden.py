@@ -24,7 +24,7 @@ import pytest
 
 from repro.comp.invocation import Invocation
 from repro.comp.model import signature_of
-from repro.engine.wire_errors import encode_error
+from repro.engine.wire_errors import _CODES, encode_error
 from repro.errors import ServerBusyError, StaleReferenceError
 from repro.ndr.formats import get_format
 from repro.ndr.plancache import PlanCache, encode_batch
@@ -69,6 +69,72 @@ def _corpus():
         "label": STR,
         "matrix": SeqType(SeqType(INT)),
     })
+    # Twelve levels of alternating dict/list nesting with every scalar
+    # kind at the leaves — the recursion depth the codec must survive
+    # without changing a byte.
+    deep = {"leaf": [1, 2.5, "s", b"\x00", True, None]}
+    for level in range(12):
+        deep = {"lvl": level, "child": [deep, {"side": level * 1.5}]}
+    # A max-size batch envelope: 32 members exercising every arg shape.
+    batch_inv = {
+        "id": "if.n1-0-1-2",
+        "op": "increment",
+        "args": [],
+        "kind": "interrogation",
+        "epoch": 0,
+        "ctx": {"principal": None, "credentials": {},
+                "transaction_id": None, "origin_domain": None,
+                "via_domains": [], "extra": {}},
+    }
+    big_batch = []
+    for i in range(32):
+        member = dict(batch_inv)
+        member["args"] = [i, f"key-{i}", [i] * (i % 5),
+                         {"n": i, "blob": bytes([i % 256]) * (i % 7)}]
+        member["inv_id"] = f"cli/app#{i}"
+        big_batch.append(member)
+    # Every wire-error code in the catalogue, as one reply envelope.
+    error_catalog = [
+        {"error": encode_error(cls(f"{code} happened"), None)}
+        for code, cls in _CODES]
+    # Lease traffic: the invalidation push (kind ``lease-inval``) and a
+    # cached read stamped with the shard ring epoch.
+    lease_inv = {
+        "id": "if.n1-0-2-1",
+        "op": "invalidate",
+        "args": [["alpha", "beta"], "*"],
+        "kind": "lease-inval",
+        "epoch": 1,
+        "ctx": {"principal": None, "credentials": {},
+                "transaction_id": None, "origin_domain": "core",
+                "via_domains": ["core"], "extra": {"shard": 4},
+                "trace": "T9@core|S14@core"},
+        "inv_id": "n1/kv-abc123-9",
+    }
+    # Overload stamps: absolute deadline + priority class in ``extra``.
+    overload_inv = {
+        "id": "if.n1-0-1-2",
+        "op": "put",
+        "args": ["k", 7],
+        "kind": "interrogation",
+        "epoch": 2,
+        "ctx": {"principal": "alice", "credentials": {},
+                "transaction_id": None, "origin_domain": "edge",
+                "via_domains": ["edge"],
+                "extra": {"deadline_at": 120.25, "priority": 3},
+                "trace": "T3@edge|S7@edge"},
+        "inv_id": "cli/app#42",
+    }
+    # Integer-width and text edges: 64-bit boundary, bigints beyond it,
+    # multibyte unicode, empty containers.
+    edges = {
+        "i64_max": 2 ** 63 - 1,
+        "i64_min": -(2 ** 63),
+        "big": 2 ** 80,
+        "neg_big": -(2 ** 80),
+        "uni": "héllo — ✓ 日本語",
+        "empty": [[], {}, "", b""],
+    }
     return [
         ("single_invocation", {"capsule": "srv", "inv": inv_a}),
         ("account_signature",
@@ -87,6 +153,15 @@ def _corpus():
          {"replies": [{"term": {"name": "ok", "values": [41]}},
                       {"error": {"code": "server_busy",
                                  "msg": "shed"}}]}),
+        ("deep_nesting", {"capsule": "srv", "inv": dict(
+            batch_inv, args=[deep], inv_id="cli/app#deep")}),
+        ("max_batch_envelope",
+         {"batch": big_batch, "capsule": "srv"}),
+        ("wire_error_catalog", {"replies": error_catalog}),
+        ("lease_context_stamp", {"capsule": "kv", "inv": lease_inv}),
+        ("overload_context_stamp",
+         {"capsule": "srv", "inv": overload_inv}),
+        ("scalar_edges", {"edges": edges}),
     ]
 
 
@@ -109,6 +184,18 @@ GOLDEN = {
             "4f614ea835e384e83815b805cddb9411b9e5707335906398271007fd76e7b625",
         "batch_reply":
             "ac7462a0886ed4c3718d92b3b71b842b7cf671a8b20ac8f4262b9529b2410b10",
+        "deep_nesting":
+            "75a75eb8c14f0913d475694568b06c6002ef4a9b2ea67b1dbc46330d2bcdf9f9",
+        "max_batch_envelope":
+            "9c1b929756f554ffdb7aedb23886f8d1186e746db38be262d6a67cf782d9f80d",
+        "wire_error_catalog":
+            "b4bc63495adf31613b4eb9bfab132e9de7909081cc980dfa276a78b4e2ff98d0",
+        "lease_context_stamp":
+            "16c52df3c26b96c03414e7b0ca42c5aaee875593bbe129dab4c09f54534a6f3c",
+        "overload_context_stamp":
+            "440c0007e43fc61d1eb5c879eb81b3895b380a3c28ed94cef7893bc8ffaf190e",
+        "scalar_edges":
+            "d990196fd55f495418e01d612d096a4fca11f3ac544b15a9fc9a7b3bd136e293",
     },
     "tagged": {
         "single_invocation":
@@ -125,6 +212,18 @@ GOLDEN = {
             "8444ab0405a91ff196e45ee6019b4f5bfd02b6eab4ffe2c446c54b7266e5108a",
         "batch_reply":
             "9b444c6a753f144320ac2c10e09215569f0eacb0dd3c3448c82cf6ee96bca8bb",
+        "deep_nesting":
+            "e30e72c454e0a3068dd338a9448e3a673b48a3f9d1a610b440f476b4ac3d6240",
+        "max_batch_envelope":
+            "c36f1c230ffd3c0bf8b9099969ae5f51226c5bad018e7d3d84cf6b0c5d57ed6f",
+        "wire_error_catalog":
+            "74844ac26db53ecdae713007fe61142fc9a138967268fdfe9fc7e43eb7e74fc4",
+        "lease_context_stamp":
+            "ea9cff470b1c41700a542982c3ae4f594e8d16edce2c5c801731d276082f68bc",
+        "overload_context_stamp":
+            "7414c37d0baa3959ff78653841c8861e43e85ebbbed0edeee36aee0ce81dfbe9",
+        "scalar_edges":
+            "3d27aff75ce20ec2634ed44838b4b2553e13103354b01b85b9d89e321e83ee5f",
     },
 }
 

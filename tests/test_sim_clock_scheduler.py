@@ -140,3 +140,152 @@ class TestScheduler:
         sched.at(2.0, lambda: None)
         event.cancel()
         assert sched.pending() == 1
+
+
+class TestEventWheelSemantics:
+    """Pins every observable behaviour the event-wheel rewrite must
+    reproduce: same-instant FIFO, cancellation windows, batch firing
+    order, and an exact schedule trace."""
+
+    def test_same_instant_fifo_is_stable_at_scale(self):
+        sched = Scheduler()
+        order = []
+        for i in range(100):
+            sched.at(4.0, lambda i=i: order.append(i))
+        sched.run_until_idle()
+        assert order == list(range(100))
+
+    def test_same_instant_events_scheduled_during_batch_run_in_batch(self):
+        sched = Scheduler()
+        order = []
+
+        def first():
+            order.append("first")
+            # Scheduled *at the firing instant*: joins the tail of the
+            # same-instant batch, after already-queued peers.
+            sched.at(5.0, lambda: order.append("late-join"))
+
+        sched.at(5.0, first)
+        sched.at(5.0, lambda: order.append("second"))
+        sched.run_until_idle()
+        assert order == ["first", "second", "late-join"]
+
+    def test_cancel_within_same_instant_batch_prevents_firing(self):
+        sched = Scheduler()
+        order = []
+        victim = sched.at(2.0, lambda: order.append("victim"))
+        sched.at(2.0, lambda: order.append("survivor"))
+
+        def assassin():
+            order.append("assassin")
+            victim.cancel()
+
+        # Scheduled last but at an earlier time: runs first and cancels
+        # a same-instant peer that is already queued behind it.
+        sched.at(1.0, assassin)
+        sched.run_until_idle()
+        assert order == ["assassin", "survivor"]
+
+    def test_cancel_then_fire_instant_is_safe(self):
+        sched = Scheduler()
+        order = []
+        doomed = sched.at(3.0, lambda: order.append("doomed"))
+
+        def killer():
+            victim_time_reached = sched.now == 3.0
+            order.append(("killer", victim_time_reached))
+            doomed.cancel()
+
+        sched.at(3.0, killer)  # same instant, earlier seq? No: later seq.
+        # ``doomed`` was scheduled first, so it fires first; cancelling
+        # after the fact is a no-op, not an error.
+        sched.run_until_idle()
+        assert order == ["doomed", ("killer", True)]
+        doomed.cancel()  # idempotent after firing
+        assert sched.pending() == 0
+
+    def test_every_cancelled_from_inside_action_stops_repeating(self):
+        sched = Scheduler()
+        ticks = []
+        handle = sched.every(5.0, lambda: (
+            ticks.append(sched.now),
+            handle.cancel() if len(ticks) >= 2 else None))
+        sched.run_until(100.0)
+        assert ticks == [5.0, 10.0]
+
+    def test_events_run_counts_fired_not_cancelled(self):
+        sched = Scheduler()
+        sched.at(1.0, lambda: None)
+        sched.at(2.0, lambda: None).cancel()
+        sched.at(3.0, lambda: None)
+        sched.run_until_idle()
+        assert sched.events_run == 2
+
+    def test_run_until_max_events_guard(self):
+        sched = Scheduler()
+
+        def forever():
+            sched.after(1.0, forever)
+
+        sched.after(1.0, forever)
+        with pytest.raises(RuntimeError, match="max_events"):
+            sched.run_until(1000.0, max_events=50)
+
+    def test_schedule_trace_regression(self):
+        """An exact (time, label) firing trace for a mixed scenario —
+        at/after/every, cancellations, nested scheduling, run_until
+        then run_until_idle.  The rewrite must replay this verbatim."""
+        sched = Scheduler()
+        trace = []
+
+        def log(label):
+            trace.append((sched.now, label))
+
+        sched.at(10.0, lambda: log("a"))
+        sched.at(10.0, lambda: log("b"))
+        beat = sched.every(7.0, lambda: log("beat"))
+        sched.after(3.0, lambda: log("c"))
+        doomed = sched.at(8.0, lambda: log("never"))
+        doomed.cancel()
+
+        def nest():
+            log("nest")
+            sched.after(0.0, lambda: log("nest-child"))
+            sched.at(sched.now, lambda: log("nest-sibling"))
+
+        sched.at(14.0, nest)
+        sched.run_until(15.0)
+        log("checkpoint")
+        sched.after(1.0, lambda: (log("tail"), beat.cancel()))
+        sched.run_until_idle()
+        assert trace == [
+            (3.0, "c"),
+            (7.0, "beat"),
+            (10.0, "a"),
+            (10.0, "b"),
+            # ``nest`` precedes ``beat``: it was scheduled at setup,
+            # while beat's 14.0 repetition was only enqueued when the
+            # 7.0 firing re-armed it, so nest holds the earlier seq.
+            (14.0, "nest"),
+            (14.0, "beat"),
+            (14.0, "nest-child"),
+            (14.0, "nest-sibling"),
+            (15.0, "checkpoint"),
+            (16.0, "tail"),
+        ]
+        # The cancelled beat's already-queued 21.0 repetition still
+        # drains as a no-op, advancing the clock with no trace entry.
+        assert sched.now == 21.0
+
+    def test_pending_counts_queued_repetition_of_cancelled_every(self):
+        # Quirk pin: cancelling an ``every`` handle after its first
+        # firing leaves the already-queued repetition event in the
+        # wheel (it no-ops when due).  ``pending`` counts it, because
+        # the repetition Event object itself is not cancelled.
+        sched = Scheduler()
+        handle = sched.every(10.0, lambda: None)
+        sched.run_until(10.0)
+        handle.cancel()
+        assert sched.pending() == 1
+        sched.run_until_idle()
+        assert sched.pending() == 0
